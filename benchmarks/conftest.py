@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and both
+prints the series (run with ``-s`` to see it live) and writes it to
+``benchmarks/results/<name>.txt`` so results are inspectable afterwards.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist (and echo) a rendered results table for one benchmark."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record

@@ -1,0 +1,31 @@
+"""Ablation — does the coarse-subspace clustering advantage survive other
+wavelet families? (paper footnote 2: Theorem 3.1 "can be done for other
+wavelets").
+"""
+
+from repro.evaluation.quality import run_wavelet_family_ablation
+from repro.evaluation.reporting import rows_to_table
+
+
+def test_ablation_wavelets(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_wavelet_family_ablation(rng=8_015),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "ablation_wavelets",
+        rows_to_table(
+            rows,
+            title="Ablation — cohesion/separation ratio per coarse subspace "
+            "across wavelet families (lower = better; '(none)' = original "
+            "space)",
+        ),
+    )
+    baseline = next(r.ratio for r in rows if r.space == "original")
+    for family in ("haar", "db2", "db3", "db4"):
+        family_rows = [r for r in rows if r.wavelet == family]
+        assert family_rows, family
+        # Each family's best coarse subspace clusters better than the
+        # original space.
+        assert min(r.ratio for r in family_rows) < baseline, family

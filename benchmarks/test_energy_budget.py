@@ -1,0 +1,98 @@
+"""Energy budget — the MANET claim behind the whole design.
+
+The paper motivates Hyper-M by battery life: "content publication is
+simply too energy and time consuming". This bench measures the radio
+energy of building the index with Hyper-M vs per-item CAN publication on
+the same collections, and checks the per-device energy spread (no single
+device should pay for everyone — complementing Figure 9's load story).
+"""
+
+import numpy as np
+
+from repro.core.baselines import NaiveCANPublisher
+from repro.core.network import HyperMConfig, HyperMNetwork
+from repro.datasets.markov import generate_markov_vectors
+from repro.datasets.partition import partition_among_peers
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+
+
+def _run_energy():
+    data_rng, part_rng, hm_rng, can_rng = spawn_rngs(8_016, 4)
+    n_peers, items_per_peer, dims = 25, 400, 64
+    data = generate_markov_vectors(n_peers * items_per_peer, dims, rng=data_rng)
+    parts = partition_among_peers(
+        data, n_peers, clusters_per_peer=10, rng=part_rng
+    )
+
+    network = HyperMNetwork(
+        dims, HyperMConfig(levels_used=4, n_clusters=10), rng=hm_rng
+    )
+    for peer_data, ids in parts:
+        network.add_peer(peer_data, ids)
+    network.publish_all()
+    hyperm_total = network.fabric.energy.total
+    hyperm_per_node = list(network.fabric.energy.per_node.values())
+
+    publisher = NaiveCANPublisher(dims, rng=can_rng)
+    for peer_id in range(n_peers):
+        publisher.add_peer(peer_id)
+    sample = 60
+    sampled_items = 0
+    for peer_id, (peer_data, ids) in enumerate(parts):
+        n, __ = publisher.publish_items(
+            peer_id, peer_data[:sample], ids[:sample]
+        )
+        sampled_items += n
+    scale = (n_peers * items_per_peer) / sampled_items
+    can_total = publisher.fabric.energy.total * scale
+    can_per_node = [
+        e * scale for e in publisher.fabric.energy.per_node.values()
+    ]
+
+    def hotspot(values):
+        total = sum(values)
+        return max(values) / total if total else 0.0
+
+    return {
+        "hyperm_total": hyperm_total,
+        "can_total": can_total,
+        "saving": can_total / max(hyperm_total, 1e-12),
+        "hyperm_hotspot": hotspot(hyperm_per_node),
+        "can_hotspot": hotspot(can_per_node),
+        "items": n_peers * items_per_peer,
+    }
+
+
+def test_energy_budget(benchmark, record_table):
+    numbers = benchmark.pedantic(_run_energy, rounds=1, iterations=1)
+    record_table(
+        "energy_budget",
+        format_table(
+            ["metric", "Hyper-M", "per-item CAN"],
+            [
+                [
+                    "total publication energy (Mu)",
+                    numbers["hyperm_total"] / 1e6,
+                    numbers["can_total"] / 1e6,
+                ],
+                [
+                    "energy per item (u)",
+                    numbers["hyperm_total"] / numbers["items"],
+                    numbers["can_total"] / numbers["items"],
+                ],
+                [
+                    "busiest device's share",
+                    numbers["hyperm_hotspot"],
+                    numbers["can_hotspot"],
+                ],
+                ["energy saving factor", numbers["saving"], 1.0],
+            ],
+            title="Energy budget — publication phase "
+            "(Bluetooth-class radio model)",
+        ),
+    )
+    # Hyper-M must cost a small fraction of per-item publication energy.
+    assert numbers["saving"] > 3.0
+    # And no device becomes a disproportionate energy hotspot.
+    assert numbers["hyperm_hotspot"] < 0.25

@@ -1,0 +1,42 @@
+"""Figure 10b — k-NN precision/recall per clusters-per-peer.
+
+Paper claim: the k-NN heuristic balances precision and recall above 50%;
+ten clusters per peer performs markedly better than five, with only a
+slight further gain at twenty.
+"""
+
+from repro.evaluation.effectiveness import run_fig10b
+from repro.evaluation.reporting import rows_to_table
+
+
+def test_fig10b_knn(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_fig10b(
+            n_peers=25,
+            n_objects=150,
+            views_per_object=12,
+            cluster_counts=(5, 10, 20),
+            k_values=(5, 10, 20),
+            n_queries=12,
+            rng=8_006,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig10b_knn",
+        rows_to_table(
+            rows,
+            title="Figure 10b — k-NN precision/recall by clusters per peer "
+            "(variation over k)",
+        ),
+    )
+    by_label = {row.label: row for row in rows}
+    # Balanced retrieval around/above the paper's 50% line.
+    assert by_label["K_p=10"].recall_mean > 0.5
+    assert by_label["K_p=10"].precision_mean > 0.35
+    # More clusters never hurt much (paper: 10 ≫ 5, 20 ≈ 10).
+    assert (
+        by_label["K_p=20"].precision_mean
+        >= by_label["K_p=5"].precision_mean - 0.05
+    )

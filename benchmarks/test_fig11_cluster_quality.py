@@ -1,0 +1,40 @@
+"""Figure 11 — clustering performance in different vector spaces.
+
+Paper claim: clusters formed in the first three wavelet subspaces are
+tighter and better separated (lower cohesion/separation ratio) than in
+the original space; quality deteriorates at finer detail levels — which is
+why Hyper-M uses only four levels.
+"""
+
+from repro.evaluation.quality import normalized_ratios, run_fig11
+from repro.evaluation.reporting import rows_to_table
+
+
+def test_fig11_cluster_quality(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_fig11(
+            n_objects=200,
+            views_per_object=10,
+            n_bins=64,
+            n_clusters=12,
+            rng=8_009,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig11_cluster_quality",
+        rows_to_table(
+            rows,
+            title="Figure 11 — cohesion/separation ratio per vector space "
+            "(lower = better clustering)",
+        ),
+    )
+    ratios = normalized_ratios(rows)
+    # The first three wavelet spaces beat the original space.
+    assert ratios["A"] < 1.0
+    assert ratios["D0"] < 1.0
+    assert ratios["D1"] < 1.0
+    # Quality deteriorates at the finest measured level vs the coarsest
+    # detail space (the paper's reason for stopping at four levels).
+    assert ratios["D5"] > ratios["D0"]

@@ -1,0 +1,33 @@
+"""Figure 8a — cluster replication overhead vs clusters per peer.
+
+Paper claim: finer clustering shrinks sphere radii, so replication
+overhead falls towards the no-replication (pure routing) insertion cost.
+"""
+
+from repro.evaluation.dissemination import run_fig8a
+from repro.evaluation.reporting import rows_to_table
+
+
+def test_fig8a_replication_overhead(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_fig8a(
+            n_peers=25,
+            items_per_peer=150,
+            dimensionality=64,
+            cluster_counts=(2, 5, 10, 20, 40),
+            rng=8_001,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig8a_replication",
+        rows_to_table(
+            rows,
+            title="Figure 8a — hops per inserted cluster vs clusters/peer "
+            "(replication shrinks with finer clustering)",
+        ),
+    )
+    coarse, fine = rows[0], rows[-1]
+    assert fine.replica_hops_per_sphere < coarse.replica_hops_per_sphere
+    assert fine.mean_sphere_radius < coarse.mean_sphere_radius

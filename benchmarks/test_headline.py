@@ -1,0 +1,109 @@
+"""Headline results (abstract / conclusion).
+
+* hop count: "up to 400% reduction in the number of hops compared with
+  the basic CAN insertion method" (§5.2) — we measure the hops-per-item
+  ratio;
+* construction time: "cut down the overall construction time … by an
+  order of magnitude" — construction over a MANET radio is bandwidth-
+  bound, so the bytes-per-item ratio is the time proxy (Hyper-M ships
+  tiny low-dimensional centroids instead of full 512-d vectors);
+* "retrieval performance is as high as 90% in terms of precision and
+  recall" (range queries: precision 100%, recall up to ~96%).
+"""
+
+import numpy as np
+
+from repro.core.baselines import NaiveCANPublisher
+from repro.core.network import HyperMConfig
+from repro.evaluation.metrics import precision_recall
+from repro.evaluation.workloads import (
+    build_histogram_network,
+    build_markov_network,
+    sample_queries,
+)
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+
+
+def _headline_numbers():
+    rng_a, rng_b, rng_c = spawn_rngs(8_010, 3)
+
+    # -- dissemination: Hyper-M vs per-item CAN on the same partition -----
+    config = HyperMConfig(levels_used=4, n_clusters=10)
+    workload, report = build_markov_network(
+        n_peers=30, items_per_peer=1000, dimensionality=64,
+        config=config, rng=rng_a,
+    )
+    publisher = NaiveCANPublisher(64, rng=rng_b)
+    for peer_id in range(len(workload.parts)):
+        publisher.add_peer(peer_id)
+    sample_items = 0
+    sample_hops = 0
+    bytes_before = publisher.fabric.metrics.total_bytes
+    for peer_id, (data, ids) in enumerate(workload.parts):
+        n, h = publisher.publish_items(peer_id, data[:50], ids[:50])
+        sample_items += n
+        sample_hops += h
+    can_hops_per_item = sample_hops / sample_items
+    can_bytes_per_item = (
+        publisher.fabric.metrics.total_bytes - bytes_before
+    ) / sample_items
+
+    hyperm_bytes_per_item = report.bytes_sent / report.items_published
+    hop_speedup = can_hops_per_item / max(report.hops_per_item, 1e-9)
+    time_speedup = can_bytes_per_item / max(hyperm_bytes_per_item, 1e-9)
+
+    # -- retrieval: range precision/recall on histogram data ---------------
+    hist = build_histogram_network(
+        n_peers=25, n_objects=150, views_per_object=12,
+        config=config, rng=rng_c,
+    )
+    precisions, recalls = [], []
+    queries = sample_queries(hist.ground_truth.data, 15, rng=rng_c)
+    for query in queries:
+        for radius in (0.08, 0.12, 0.16):
+            truth = hist.ground_truth.range_search(query, radius)
+            if not truth:
+                continue
+            result = hist.network.range_query(query, radius, max_peers=12)
+            pr = precision_recall(result.item_ids, truth)
+            precisions.append(pr.precision)
+            recalls.append(pr.recall)
+
+    return {
+        "hyperm_hops_per_item": report.hops_per_item,
+        "can_hops_per_item": can_hops_per_item,
+        "hop_speedup": hop_speedup,
+        "hyperm_bytes_per_item": hyperm_bytes_per_item,
+        "can_bytes_per_item": can_bytes_per_item,
+        "time_speedup": time_speedup,
+        "range_precision": float(np.mean(precisions)),
+        "range_recall": float(np.mean(recalls)),
+    }
+
+
+def test_headline(benchmark, record_table):
+    numbers = benchmark.pedantic(_headline_numbers, rounds=1, iterations=1)
+    record_table(
+        "headline",
+        format_table(
+            ["metric", "value", "paper claim"],
+            [
+                ["Hyper-M hops/item", numbers["hyperm_hops_per_item"], "≪ 1 possible"],
+                ["CAN hops/item", numbers["can_hops_per_item"], "baseline"],
+                ["hop reduction", numbers["hop_speedup"], "up to ~4-5x (§5.2)"],
+                ["Hyper-M bytes/item", numbers["hyperm_bytes_per_item"], "low"],
+                ["CAN bytes/item", numbers["can_bytes_per_item"], "high"],
+                ["construction-time speedup", numbers["time_speedup"], "~10x (abstract)"],
+                ["range precision", numbers["range_precision"], "100%"],
+                ["range recall", numbers["range_recall"], "up to ~96%"],
+            ],
+            title="Headline — order-of-magnitude construction-time speedup "
+            "(bandwidth) and 4-5x hop reduction, with 90%+ retrieval",
+        ),
+    )
+    assert numbers["hop_speedup"] > 3.5  # paper: "up to 400% reduction"
+    assert numbers["time_speedup"] > 10.0  # paper: order of magnitude
+    assert numbers["range_precision"] == 1.0
+    assert numbers["range_recall"] > 0.75
+    assert numbers["hyperm_bytes_per_item"] < numbers["can_bytes_per_item"]

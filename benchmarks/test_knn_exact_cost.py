@@ -1,0 +1,75 @@
+"""Extension — exact k-NN refinement: what does guaranteed accuracy cost?
+
+The paper's Figure 5 heuristic trades accuracy for bandwidth. The library
+adds a refinement pass (``knn_query(..., exact=True)``) that upgrades the
+heuristic answer to a provably exact k-NN using a Theorem 4.1
+dismissal-free range query at the k-th candidate distance. This bench
+quantifies the accuracy/cost frontier: heuristic at C ∈ {1, 2} vs exact.
+"""
+
+import numpy as np
+
+from repro.core.network import HyperMConfig
+from repro.evaluation.metrics import precision_recall
+from repro.evaluation.workloads import build_histogram_network, sample_queries
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+
+
+def _run():
+    build_rng, query_rng = spawn_rngs(8_017, 2)
+    config = HyperMConfig(levels_used=4, n_clusters=10)
+    workload = build_histogram_network(
+        n_peers=20, n_objects=120, views_per_object=12,
+        config=config, rng=build_rng,
+    )
+    network = workload.network
+    queries = sample_queries(workload.ground_truth.data, 12, rng=query_rng)
+    k = 10
+
+    modes = [
+        ("heuristic C=1", dict(c=1.0)),
+        ("heuristic C=2", dict(c=2.0)),
+        ("exact", dict(c=1.0, exact=True)),
+    ]
+    rows = []
+    for label, kwargs in modes:
+        recalls, precisions, hops, messages, contacts = [], [], [], [], []
+        for query in queries:
+            truth = workload.ground_truth.knn(query, k)
+            result = network.knn_query(query, k, **kwargs)
+            pr = precision_recall(result.item_ids, truth)
+            recalls.append(pr.recall)
+            precisions.append(pr.precision)
+            hops.append(result.index_hops)
+            messages.append(result.retrieval_messages)
+            contacts.append(len(result.peers_contacted))
+        rows.append(
+            [
+                label,
+                float(np.mean(precisions)),
+                float(np.mean(recalls)),
+                float(np.mean(hops)),
+                float(np.mean(messages)),
+                float(np.mean(contacts)),
+            ]
+        )
+    return rows
+
+
+def test_knn_exact_cost(benchmark, record_table):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_table(
+        "knn_exact_cost",
+        format_table(
+            ["mode", "precision", "recall", "index hops", "messages", "peers"],
+            rows,
+            title="Extension — heuristic vs exact k-NN: accuracy/cost "
+            "frontier (k=10)",
+        ),
+    )
+    by_label = {row[0]: row for row in rows}
+    exact = by_label["exact"]
+    assert exact[1] == 1.0 and exact[2] == 1.0  # provably exact
+    # Exactness costs more index traffic than the plain heuristic.
+    assert exact[3] >= by_label["heuristic C=1"][3]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks — throughput of the computational kernels.
+
+These use pytest-benchmark's statistical timing (many rounds) rather than
+the one-shot experiment harness: they answer "is the substrate fast
+enough", not "does the paper's figure reproduce".
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans
+from repro.geometry.intersection import intersection_fraction
+from repro.overlay.can import CANNetwork
+from repro.wavelets.haar import haar_decompose
+from repro.wavelets.transform import wavedec
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(0).random((1000, 512))
+
+
+def test_micro_haar_decompose_batch(benchmark, batch):
+    """Full 512-d averaging-Haar decomposition of 1,000 vectors."""
+    benchmark(haar_decompose, batch)
+
+
+def test_micro_db4_wavedec_batch(benchmark, batch):
+    """Full 512-d db4 filter-bank decomposition of 1,000 vectors."""
+    benchmark(wavedec, batch, "db4")
+
+
+def test_micro_kmeans(benchmark, batch):
+    """k-means (k=10) over 1,000 512-d vectors."""
+    benchmark.pedantic(
+        lambda: kmeans(batch, 10, rng=0), rounds=3, iterations=1
+    )
+
+
+def test_micro_intersection_fraction(benchmark):
+    """One Eq. 7 lens-fraction evaluation in 8 dimensions."""
+    benchmark(intersection_fraction, 1.0, 0.8, 1.2, 8)
+
+
+def test_micro_can_insert(benchmark):
+    """Point insertion into a 100-node, 64-d CAN."""
+    can = CANNetwork(64, rng=0)
+    ids = can.grow(100)
+    rng = np.random.default_rng(1)
+    keys = iter(rng.random((100_000, 64)))
+
+    def insert_one():
+        can.insert(ids[0], next(keys), None)
+
+    benchmark.pedantic(insert_one, rounds=200, iterations=1)
+
+
+def test_micro_can_range_query(benchmark):
+    """Range query over a populated 100-node 2-d CAN."""
+    can = CANNetwork(2, rng=2)
+    ids = can.grow(100)
+    rng = np.random.default_rng(3)
+    for i, p in enumerate(rng.random((500, 2))):
+        can.insert(ids[i % 100], p, i)
+    centers = iter(rng.random((100_000, 2)))
+
+    def query_one():
+        can.range_query(ids[0], next(centers), 0.15)
+
+    benchmark.pedantic(query_one, rounds=200, iterations=1)

@@ -1,0 +1,278 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig8b --peers 30 --seed 7
+    python -m repro fig10a --scale paper
+    python -m repro all
+
+Each experiment prints the same series its benchmark target produces.
+``--scale quick`` (default) runs in seconds; ``--scale paper`` uses
+parameters proportioned like the paper's own setups (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.dissemination import (
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+    run_fig9,
+)
+from repro.evaluation.effectiveness import (
+    run_c_knob,
+    run_fig10a,
+    run_fig10b,
+    run_fig10c,
+)
+from repro.evaluation.quality import run_fig11
+from repro.evaluation.reporting import rows_to_table, series_to_table
+from repro.utils.ascii_plot import line_chart
+from repro.utils.tables import format_table
+
+#: Scale presets: (quick, paper-proportioned) overrides per experiment.
+_SCALES = {
+    "quick": {
+        "n_peers": 15,
+        "items_per_peer": 100,
+        "n_objects": 80,
+        "views_per_object": 10,
+        "n_queries": 8,
+    },
+    "paper": {
+        "n_peers": 50,
+        "items_per_peer": 1000,
+        "n_objects": 500,
+        "views_per_object": 12,
+        "n_queries": 25,
+    },
+}
+
+
+def _common(args, **overrides):
+    params = dict(_SCALES[args.scale])
+    if args.peers is not None:
+        params["n_peers"] = args.peers
+    params["rng"] = args.seed
+    params.update(overrides)
+    return params
+
+
+def _filter_kwargs(func, params):
+    import inspect
+
+    accepted = set(inspect.signature(func).parameters)
+    return {k: v for k, v in params.items() if k in accepted}
+
+
+def _cmd_fig8a(args):
+    rows = run_fig8a(**_filter_kwargs(run_fig8a, _common(args)))
+    print(rows_to_table(rows, title="Figure 8a — replication overhead"))
+
+
+def _cmd_fig8b(args):
+    rows = run_fig8b(**_filter_kwargs(run_fig8b, _common(args)))
+    print(rows_to_table(rows, title="Figure 8b — hops per item vs volume"))
+    if args.plot:
+        print()
+        print(line_chart(
+            {
+                "Hyper-M": [r.hyperm_hops_per_item for r in rows],
+                "CAN": [r.can_hops_per_item for r in rows],
+                "CAN-2d": [r.can2d_hops_per_item for r in rows],
+            },
+            x_labels=[r.total_items for r in rows],
+            title="hops/item vs total items",
+        ))
+
+
+def _cmd_fig8c(args):
+    rows, base = run_fig8c(**_filter_kwargs(run_fig8c, _common(args)))
+    print(rows_to_table(rows, title="Figure 8c — hops per item vs levels"))
+    print(
+        format_table(
+            ["baseline", "hops_per_item"],
+            [
+                ["CAN (full dim)", base.can_hops_per_item],
+                ["CAN (2-d)", base.can2d_hops_per_item],
+            ],
+        )
+    )
+
+
+def _cmd_fig9(args):
+    rows = run_fig9(**_filter_kwargs(run_fig9, _common(args)))
+    print(rows_to_table(rows, title="Figure 9 — load distribution"))
+
+
+def _cmd_fig10a(args):
+    out = run_fig10a(**_filter_kwargs(run_fig10a, _common(args)))
+    print(
+        series_to_table(
+            {f"K_p={k}": v for k, v in out.items()},
+            x_name="peers_contacted",
+            title="Figure 10a — range recall vs peers contacted",
+        )
+    )
+    if args.plot:
+        print()
+        print(line_chart(
+            {
+                f"K_p={k}": [point.mean for point in v]
+                for k, v in out.items()
+            },
+            x_labels=[point.x for point in next(iter(out.values()))],
+            title="mean recall vs peers contacted",
+        ))
+
+
+def _cmd_fig10b(args):
+    rows = run_fig10b(**_filter_kwargs(run_fig10b, _common(args)))
+    print(rows_to_table(rows, title="Figure 10b — k-NN precision/recall"))
+
+
+def _cmd_fig10c(args):
+    rows = run_fig10c(**_filter_kwargs(run_fig10c, _common(args)))
+    print(rows_to_table(rows, title="Figure 10c — staleness"))
+    if args.plot:
+        print()
+        print(line_chart(
+            {"recall": [r.mean for r in rows]},
+            x_labels=[r.x for r in rows],
+            title="recall vs new-document fraction",
+        ))
+
+
+def _cmd_cknob(args):
+    rows = run_c_knob(**_filter_kwargs(run_c_knob, _common(args)))
+    print(rows_to_table(rows, title="§6.1 — C-knob trade-off"))
+
+
+def _cmd_fig11(args):
+    rows = run_fig11(**_filter_kwargs(run_fig11, _common(args)))
+    print(rows_to_table(rows, title="Figure 11 — clustering quality"))
+
+
+def _cmd_construction(args):
+    from repro.evaluation.construction import run_construction_comparison
+
+    params = _filter_kwargs(run_construction_comparison, _common(args))
+    comparison = run_construction_comparison(**params)
+    hyperm, can = comparison.hyperm, comparison.can
+    print(
+        format_table(
+            ["metric", "Hyper-M", "per-item CAN"],
+            [
+                ["hops/item", hyperm.hops_per_item, can.hops_per_item],
+                ["bytes/item", hyperm.bytes_per_item, can.bytes_per_item],
+                [
+                    "parallel makespan (s)",
+                    hyperm.parallel_makespan,
+                    can.parallel_makespan,
+                ],
+                [
+                    "shared-channel makespan (s)",
+                    hyperm.shared_channel_makespan,
+                    can.shared_channel_makespan,
+                ],
+            ],
+            title="Construction time (event-driven parallel simulation)",
+        )
+    )
+
+
+_COMMANDS = {
+    "fig8a": (_cmd_fig8a, "Figure 8a: cluster replication overhead"),
+    "fig8b": (_cmd_fig8b, "Figure 8b: hops per item vs data volume"),
+    "fig8c": (_cmd_fig8c, "Figure 8c: hops per item vs overlay levels"),
+    "fig9": (_cmd_fig9, "Figure 9: load distribution under skew"),
+    "fig10a": (_cmd_fig10a, "Figure 10a: range recall vs peers contacted"),
+    "fig10b": (_cmd_fig10b, "Figure 10b: k-NN precision/recall"),
+    "fig10c": (_cmd_fig10c, "Figure 10c: staleness from late inserts"),
+    "cknob": (_cmd_cknob, "§6.1: the C knob trade-off"),
+    "fig11": (_cmd_fig11, "Figure 11: clustering quality per subspace"),
+    "construction": (
+        _cmd_construction,
+        "construction time, Hyper-M vs per-item CAN",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Hyper-M paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_common_args(all_parser)
+    all_parser.add_argument(
+        "--output",
+        default=None,
+        help="write a Markdown report to this path instead of printing",
+    )
+    for name, (__, help_text) in _COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        _add_common_args(cmd)
+    return parser
+
+
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="parameter preset (quick: seconds; paper: minutes)",
+    )
+    parser.add_argument(
+        "--peers", type=int, default=None, help="override the peer count"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also sketch the series as an ASCII chart",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point. Returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name, (__, help_text) in _COMMANDS.items():
+            print(f"{name:14s} {help_text}")
+        return 0
+    if args.command == "all":
+        if getattr(args, "output", None):
+            from repro.evaluation.summary import (
+                render_markdown,
+                run_full_report,
+            )
+
+            reports = run_full_report(scale=args.scale, rng=args.seed)
+            text = render_markdown(reports)
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {len(reports)} experiment reports to {args.output}")
+            return 0
+        for name, (func, __) in _COMMANDS.items():
+            print(f"\n### {name}")
+            func(args)
+        return 0
+    func, __ = _COMMANDS[args.command]
+    func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""k-means clustering and cluster-sphere summaries (paper Sections 2.2, 3.1).
+
+Hyper-M summarises each peer's data per wavelet subspace as ``K_p`` spheres
+(centroid, radius, item count). :mod:`repro.clustering.kmeans` is a from-
+scratch Lloyd/k-means++ implementation; :mod:`repro.clustering.quality`
+provides the cohesion/separation ratio measured in Figure 11.
+"""
+
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.quality import (
+    cluster_quality,
+    cohesion,
+    separation,
+)
+from repro.clustering.spheres import ClusterSphere, spheres_from_clustering
+from repro.clustering.summaries import PeerSummary, summarize_peer_data
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "ClusterSphere",
+    "spheres_from_clustering",
+    "cohesion",
+    "separation",
+    "cluster_quality",
+    "PeerSummary",
+    "summarize_peer_data",
+]

@@ -1,0 +1,56 @@
+"""Clustering quality: cohesion, separation, and their ratio (Figure 11).
+
+The paper measures clustering "goodness" as the proportion between
+*cohesion* (average distance of elements to their own centroid — lower is
+tighter) and *separation* (average pairwise distance between centroids —
+higher is better separated). Figure 11 shows the ratio improves in the
+first wavelet subspaces relative to the original space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeansResult
+from repro.exceptions import ClusteringError
+from repro.utils.validation import check_matrix
+
+
+def cohesion(points: np.ndarray, result: KMeansResult) -> float:
+    """Average distance of each point to its assigned centroid."""
+    points = check_matrix(points, "points")
+    if points.shape[0] != result.labels.shape[0]:
+        raise ClusteringError(
+            f"points ({points.shape[0]}) and labels "
+            f"({result.labels.shape[0]}) disagree"
+        )
+    diffs = points - result.centroids[result.labels]
+    return float(np.linalg.norm(diffs, axis=1).mean())
+
+
+def separation(result: KMeansResult) -> float:
+    """Average pairwise distance between distinct centroids.
+
+    Returns 0.0 when there is a single cluster (no pairs to average).
+    """
+    centroids = result.centroids
+    k = centroids.shape[0]
+    if k < 2:
+        return 0.0
+    diffs = centroids[:, None, :] - centroids[None, :, :]
+    dists = np.linalg.norm(diffs, axis=2)
+    iu = np.triu_indices(k, k=1)
+    return float(dists[iu].mean())
+
+
+def cluster_quality(points: np.ndarray, result: KMeansResult) -> float:
+    """Cohesion / separation ratio: lower means tighter, better-separated clusters.
+
+    Returns ``inf`` when separation is zero (all centroids coincide), and
+    0.0 for a perfect clustering of coincident points.
+    """
+    sep = separation(result)
+    coh = cohesion(points, result)
+    if sep == 0.0:
+        return 0.0 if coh == 0.0 else float("inf")
+    return coh / sep

@@ -1,0 +1,46 @@
+"""Hyper-M core: publish cluster-sphere summaries, answer similarity queries.
+
+The flow (paper Figures 2 and 3):
+
+1. :class:`repro.core.peer.HyperMPeer` holds a peer's items.
+2. :class:`repro.core.network.HyperMNetwork` runs one overlay per wavelet
+   level; :meth:`~repro.core.network.HyperMNetwork.publish_all` decomposes,
+   clusters, and inserts each peer's summaries (steps *i1*–*i3*).
+3. :mod:`repro.core.queries` resolves point/range queries and
+   :mod:`repro.core.knn` the k-NN heuristic (steps *s1*–*s3*), scoring
+   peers with Eq. 1 via :mod:`repro.core.scoring`.
+
+Baselines used in the paper's comparisons live in
+:mod:`repro.core.baselines`.
+"""
+
+from repro.core.baselines import CentralizedIndex, NaiveCANPublisher, TwoDimCANPublisher
+from repro.core.network import HyperMConfig, HyperMNetwork
+from repro.core.peer import HyperMPeer
+from repro.core.results import (
+    ClusterRecord,
+    DisseminationReport,
+    KnnResult,
+    RangeQueryResult,
+    RetrievedItem,
+)
+from repro.core.scoring import aggregate_scores, level_scores
+from repro.core.serialization import load_summary, save_summary
+
+__all__ = [
+    "HyperMPeer",
+    "HyperMNetwork",
+    "HyperMConfig",
+    "ClusterRecord",
+    "RetrievedItem",
+    "RangeQueryResult",
+    "KnnResult",
+    "DisseminationReport",
+    "level_scores",
+    "aggregate_scores",
+    "NaiveCANPublisher",
+    "TwoDimCANPublisher",
+    "CentralizedIndex",
+    "save_summary",
+    "load_summary",
+]

@@ -1,0 +1,402 @@
+"""The Hyper-M network: per-level overlays, peers, publication, queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.peer import HyperMPeer
+from repro.core.results import ClusterRecord, DisseminationReport
+from repro.exceptions import ValidationError
+from repro.net.network import Network
+from repro.overlay.can import CANNetwork
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.wavelets.bounds import key_space_radius, to_unit_cube
+from repro.wavelets.multiresolution import Level, publication_levels
+
+#: Id stride separating each level's overlay nodes on the shared fabric.
+_LEVEL_ID_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class HyperMConfig:
+    """Operating point of a Hyper-M deployment.
+
+    Attributes
+    ----------
+    levels_used:
+        Number of coarsest wavelet subspaces published (the paper settles
+        on 4: more levels add overhead without precision/recall gains).
+    n_clusters:
+        The paper's ``K_p``: clusters per peer per subspace.
+    aggregation:
+        Cross-level score policy: ``"min"`` (paper), ``"sum"``, ``"product"``.
+    kmeans_restarts:
+        k-means++ restarts per clustering run.
+    """
+
+    levels_used: int = 4
+    n_clusters: int = 10
+    aggregation: str = "min"
+    kmeans_restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.levels_used < 1:
+            raise ValidationError(
+                f"levels_used must be >= 1, got {self.levels_used}"
+            )
+        if self.n_clusters < 1:
+            raise ValidationError(
+                f"n_clusters must be >= 1, got {self.n_clusters}"
+            )
+        if self.aggregation not in ("min", "sum", "product"):
+            raise ValidationError(
+                f"unknown aggregation {self.aggregation!r}"
+            )
+        if self.kmeans_restarts < 1:
+            raise ValidationError(
+                f"kmeans_restarts must be >= 1, got {self.kmeans_restarts}"
+            )
+
+
+class HyperMNetwork:
+    """One overlay per wavelet level, plus the peers publishing into them.
+
+    Parameters
+    ----------
+    dimensionality:
+        Item dimensionality ``d`` (a power of two).
+    config:
+        :class:`HyperMConfig`; defaults to the paper's operating point.
+    fabric:
+        Shared MANET fabric for hop/energy accounting across all levels.
+    rng:
+        Seed or generator; child streams drive each overlay and each
+        peer's clustering.
+    overlay_factory:
+        Callable ``(dimensionality, *, fabric, rng, node_id_offset) ->
+        Overlay``; defaults to :class:`repro.overlay.can.CANNetwork`.
+        Swap in :class:`repro.overlay.ring.RingNetwork` to demonstrate
+        overlay independence.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> net = HyperMNetwork(16, HyperMConfig(levels_used=3, n_clusters=4), rng=0)
+    >>> rng = np.random.default_rng(0)
+    >>> for __ in range(4):
+    ...     _ = net.add_peer(rng.random((30, 16)))
+    >>> report = net.publish_all()
+    >>> report.items_published
+    120
+    """
+
+    def __init__(
+        self,
+        dimensionality: int,
+        config: HyperMConfig | None = None,
+        *,
+        fabric: Network | None = None,
+        rng=None,
+        overlay_factory=None,
+    ):
+        self.config = config or HyperMConfig()
+        self.levels: list[Level] = publication_levels(
+            dimensionality, self.config.levels_used
+        )
+        self.dimensionality = int(dimensionality)
+        self.fabric = fabric if fabric is not None else Network()
+        self._rng = ensure_rng(rng)
+        factory = overlay_factory or CANNetwork
+        overlay_rngs = spawn_rngs(self._rng, len(self.levels))
+        self.overlays = {
+            level: factory(
+                level.dimensionality,
+                fabric=self.fabric,
+                rng=level_rng,
+                node_id_offset=(index + 1) * _LEVEL_ID_STRIDE,
+            )
+            for index, (level, level_rng) in enumerate(
+                zip(self.levels, overlay_rngs)
+            )
+        }
+        self.peers: dict[int, HyperMPeer] = {}
+        self._overlay_node: dict[tuple[Level, int], int] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        overlay = type(next(iter(self.overlays.values()))).__name__
+        return (
+            f"HyperMNetwork(d={self.dimensionality}, "
+            f"levels={[str(l) for l in self.levels]}, "
+            f"peers={self.n_peers}, overlay={overlay})"
+        )
+
+    # -- membership -----------------------------------------------------------
+
+    def add_peer(
+        self, data: np.ndarray, item_ids: np.ndarray | None = None
+    ) -> HyperMPeer:
+        """Create a peer holding ``data`` and join it to every level overlay."""
+        peer_id = len(self.peers)
+        peer = HyperMPeer(peer_id, data, item_ids)
+        if peer.dimensionality != self.dimensionality:
+            raise ValidationError(
+                f"peer data is {peer.dimensionality}-d; network expects "
+                f"{self.dimensionality}-d"
+            )
+        self.peers[peer_id] = peer
+        for level, overlay in self.overlays.items():
+            node_id = overlay.join()
+            self._overlay_node[(level, peer_id)] = node_id
+        return peer
+
+    def remove_peer(
+        self, peer_id: int, *, withdraw_summaries: bool = False
+    ) -> None:
+        """Handle a peer's departure (MANET churn).
+
+        The peer's overlay nodes leave gracefully — their zones/arcs and
+        the index entries they stored are handed to remaining nodes, so
+        routing and index queries keep working. The peer itself goes
+        offline: direct retrieval from it fails and queries lose access to
+        its items.
+
+        Parameters
+        ----------
+        withdraw_summaries:
+            When true, the peer's own published cluster summaries are also
+            dropped from every overlay (a *clean* departure); the default
+            leaves them dangling (an *abrupt* departure — the realistic
+            MANET case), so queries may waste contact attempts on it.
+        """
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            raise ValidationError(f"unknown peer {peer_id}")
+        peer.online = False
+        for level in self.levels:
+            overlay = self.overlays[level]
+            node_id = self._overlay_node[(level, peer_id)]
+            if node_id in overlay.node_ids:
+                overlay.leave(node_id)
+        if withdraw_summaries:
+            self.withdraw_summaries(peer_id)
+
+    def withdraw_summaries(self, peer_id: int, *, charge: bool = False) -> int:
+        """Drop every published cluster record of ``peer_id``; returns count.
+
+        With ``charge=True`` the withdrawal traffic is accounted: one
+        message from the peer to each holder of each of its entries — the
+        deletions retrace the replica paths publication used. The default
+        leaves withdrawal free, matching the dissemination experiments
+        (which measure publication only).
+        """
+        from repro.net.messages import MessageKind, vector_message_size
+
+        removed = 0
+        for level, overlay in self.overlays.items():
+            holders_by_entry: dict[int, list[int]] = {}
+            for node_id in overlay.node_ids:
+                node = overlay.node(node_id)
+                for entry in node.store:
+                    if entry.value.peer_id == peer_id:
+                        holders_by_entry.setdefault(id(entry), []).append(
+                            node_id
+                        )
+                removed += node.drop_entries(
+                    lambda entry: entry.value.peer_id == peer_id
+                )
+            origin = self._overlay_node.get((level, peer_id))
+            if charge and origin is not None:
+                size = vector_message_size(level.dimensionality, scalars=1)
+                for holders in holders_by_entry.values():
+                    prev = origin
+                    for holder in holders:
+                        if holder == prev:
+                            continue
+                        self.fabric.transmit(
+                            prev, holder, MessageKind.REPLICATE, size
+                        )
+                        prev = holder
+        return removed
+
+    def overlay_node(self, level: Level, peer_id: int) -> int:
+        """Overlay node id of ``peer_id`` at ``level``."""
+        try:
+            return self._overlay_node[(level, peer_id)]
+        except KeyError:
+            raise ValidationError(
+                f"peer {peer_id} has no node at level {level}"
+            ) from None
+
+    @property
+    def n_peers(self) -> int:
+        """Number of member peers."""
+        return len(self.peers)
+
+    @property
+    def total_items(self) -> int:
+        """Items held across all peers (published or not)."""
+        return sum(peer.n_items for peer in self.peers.values())
+
+    # -- publication (paper Figure 2) -------------------------------------------
+
+    def publish_peer(
+        self, peer_id: int, *, summary=None
+    ) -> DisseminationReport:
+        """Summarise and publish one peer's items (steps i1–i3).
+
+        A prebuilt ``summary`` (e.g. restored via
+        :mod:`repro.core.serialization` from a previous session) skips the
+        decomposition/clustering step entirely — it must match this
+        network's dimensionality and levels.
+        """
+        peer = self.peers[peer_id]
+        if summary is None:
+            summary = peer.build_summary(
+                n_clusters=self.config.n_clusters,
+                levels_used=self.config.levels_used,
+                rng=self._rng,
+                n_init=self.config.kmeans_restarts,
+            )
+        else:
+            if summary.dimensionality != self.dimensionality:
+                raise ValidationError(
+                    f"summary is {summary.dimensionality}-d; network "
+                    f"expects {self.dimensionality}-d"
+                )
+            if list(summary.levels) != list(self.levels):
+                raise ValidationError(
+                    "summary levels do not match the network's levels"
+                )
+            peer.summary = summary
+        report = DisseminationReport(items_published=peer.unpublished_from)
+        bytes_before = self.fabric.metrics.total_bytes
+        energy_before = self.fabric.energy.total
+        for level in self.levels:
+            overlay = self.overlays[level]
+            origin = self.overlay_node(level, peer_id)
+            for sphere in summary.spheres[level]:
+                key = np.clip(to_unit_cube(sphere.centroid, level), 0.0, 1.0)
+                radius = key_space_radius(sphere.radius, level)
+                record = ClusterRecord(
+                    peer_id=peer_id, items=sphere.items, level_name=str(level)
+                )
+                receipt = overlay.insert(origin, key, record, radius=radius)
+                report.spheres_inserted += 1
+                report.routing_hops += receipt.routing_hops
+                report.replica_hops += receipt.replicas
+        report.bytes_sent = self.fabric.metrics.total_bytes - bytes_before
+        report.energy = self.fabric.energy.total - energy_before
+        return report
+
+    def republish_peer(self, peer_id: int) -> DisseminationReport:
+        """Withdraw and re-publish one peer's summaries over ALL its items.
+
+        The staleness remedy for Figure 10c's scenario: items added after
+        the initial publication (``HyperMPeer.add_items``) become visible
+        to the index again at the cost of one fresh dissemination round
+        for this peer. Returns the new round's dissemination report.
+        """
+        peer = self.peers[peer_id]
+        self.withdraw_summaries(peer_id, charge=True)
+        peer.unpublished_from = peer.n_items
+        return self.publish_peer(peer_id)
+
+    def publish_all(self) -> DisseminationReport:
+        """Publish every peer; returns the merged dissemination report."""
+        report = DisseminationReport()
+        for peer_id in self.peers:
+            report = report.merge(self.publish_peer(peer_id))
+        return report
+
+    # -- item-level conveniences ---------------------------------------------------
+
+    def locate_item(self, item_id: int) -> tuple[HyperMPeer, np.ndarray]:
+        """Find which peer holds ``item_id``; returns (peer, vector).
+
+        A global-view convenience (the simulator knows all peers); in a
+        real deployment the caller already holds the item it queries with.
+        """
+        for peer in self.peers.values():
+            matches = np.flatnonzero(peer.item_ids == item_id)
+            if matches.size:
+                return peer, peer.data[int(matches[0])]
+        raise ValidationError(f"no peer holds item {item_id}")
+
+    def find_similar(self, item_id: int, k: int = 10, **kwargs):
+        """'More like this': k-NN from an item already in the network.
+
+        The holding peer issues the query (it has the vector), and the
+        item itself is excluded from the result list.
+        """
+        peer, vector = self.locate_item(item_id)
+        result = self.knn_query(
+            vector, k + 1, origin_peer=peer.peer_id, **kwargs
+        )
+        result.items = [
+            item for item in result.items if item.item_id != item_id
+        ]
+        return result
+
+    # -- queries (delegates) -----------------------------------------------------
+
+    def range_query(self, query: np.ndarray, epsilon: float, **kwargs):
+        """Similarity range query — see :func:`repro.core.queries.range_query`."""
+        from repro.core.queries import range_query
+
+        return range_query(self, query, epsilon, **kwargs)
+
+    def point_query(self, query: np.ndarray, **kwargs):
+        """Exact-match query — see :func:`repro.core.queries.point_query`."""
+        from repro.core.queries import point_query
+
+        return point_query(self, query, **kwargs)
+
+    def knn_query(self, query: np.ndarray, k: int, **kwargs):
+        """k-nearest-neighbour query — see :func:`repro.core.knn.knn_query`."""
+        from repro.core.knn import knn_query
+
+        return knn_query(self, query, k, **kwargs)
+
+    # -- introspection --------------------------------------------------------------
+
+    def level_loads(self) -> dict[Level, dict[int, int]]:
+        """Per-level ``{node_id: stored entries}`` (Figure 9's metric)."""
+        return {level: overlay.loads() for level, overlay in self.overlays.items()}
+
+    def stats(self) -> dict:
+        """Structured network health summary.
+
+        One call for dashboards and debugging: membership, publication
+        state per level (spheres, replication factor), and fabric totals.
+        """
+        online = sum(1 for peer in self.peers.values() if peer.online)
+        per_level = {}
+        for level, overlay in self.overlays.items():
+            loads = overlay.loads()
+            stored = sum(loads.values())
+            distinct = set()
+            for node_id in overlay.node_ids:
+                for entry in overlay.node(node_id).store:
+                    distinct.add(id(entry))
+            per_level[str(level)] = {
+                "nodes": len(overlay.node_ids),
+                "stored_entries": stored,
+                "distinct_spheres": len(distinct),
+                "replication_factor": (
+                    stored / len(distinct) if distinct else 0.0
+                ),
+            }
+        return {
+            "peers": self.n_peers,
+            "online_peers": online,
+            "total_items": self.total_items,
+            "levels": per_level,
+            "fabric": {
+                "messages": self.fabric.metrics.total_messages,
+                "hops": self.fabric.metrics.total_hops,
+                "bytes": self.fabric.metrics.total_bytes,
+                "energy": self.fabric.energy.total,
+            },
+        }

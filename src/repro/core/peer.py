@@ -1,0 +1,145 @@
+"""A Hyper-M peer: local items, summaries, and direct-retrieval handlers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.summaries import PeerSummary, summarize_peer_data
+from repro.core.results import RetrievedItem, distances_to_query
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_matrix, check_unit_cube, check_vector
+
+
+class HyperMPeer:
+    """One participant: owns items, publishes summaries, serves retrievals.
+
+    Parameters
+    ----------
+    peer_id:
+        Network-unique identifier.
+    data:
+        ``(n, d)`` item matrix, ``d`` a power of two, coordinates in the
+        unit cube.
+    item_ids:
+        Global item identifiers (defaults to ``range(n)``; must be unique
+        across the network for meaningful precision/recall).
+    """
+
+    def __init__(
+        self,
+        peer_id: int,
+        data: np.ndarray,
+        item_ids: np.ndarray | None = None,
+    ):
+        data = check_unit_cube(check_matrix(data, "data"), "data")
+        if item_ids is None:
+            item_ids = np.arange(data.shape[0], dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if item_ids.shape[0] != data.shape[0]:
+            raise ValidationError(
+                f"item_ids has {item_ids.shape[0]} entries for "
+                f"{data.shape[0]} items"
+            )
+        self.peer_id = int(peer_id)
+        self.data = data
+        self.item_ids = item_ids
+        self.summary: PeerSummary | None = None
+        #: Items added after publication (Figure 10c staleness experiments):
+        #: visible to direct retrieval, invisible to the published index.
+        self.unpublished_from = data.shape[0]
+        #: MANET churn: an offline peer's published summaries linger in the
+        #: overlays, but direct retrieval from it fails.
+        self.online = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "online" if self.online else "offline"
+        published = self.unpublished_from
+        return (
+            f"HyperMPeer(id={self.peer_id}, items={self.n_items}, "
+            f"published={published}, {state})"
+        )
+
+    # -- summaries -----------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        """Number of items currently held (published + post-hoc)."""
+        return int(self.data.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        """Item dimensionality."""
+        return int(self.data.shape[1])
+
+    def build_summary(
+        self, *, n_clusters: int, levels_used: int, rng=None, n_init: int = 1
+    ) -> PeerSummary:
+        """Decompose + cluster the peer's *published* items (steps i1–i2)."""
+        published = self.data[: self.unpublished_from]
+        if published.shape[0] == 0:
+            raise ValidationError(f"peer {self.peer_id} has no items to summarise")
+        self.summary = summarize_peer_data(
+            published,
+            n_clusters=n_clusters,
+            levels_used=levels_used,
+            rng=rng,
+            n_init=n_init,
+        )
+        return self.summary
+
+    def add_items(
+        self, new_data: np.ndarray, new_ids: np.ndarray
+    ) -> None:
+        """Append items *without republishing* (post-creation inserts).
+
+        Models the paper's Figure 10c scenario: during the network's short
+        lifetime new items arrive after the overlay is built; summaries go
+        stale and recall degrades for those items.
+        """
+        new_data = check_unit_cube(
+            check_matrix(new_data, "new_data", dim=self.dimensionality), "new_data"
+        )
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        if new_ids.shape[0] != new_data.shape[0]:
+            raise ValidationError("new_ids length does not match new_data rows")
+        self.data = np.vstack([self.data, new_data])
+        self.item_ids = np.concatenate([self.item_ids, new_ids])
+
+    # -- direct retrieval (query phase s3) -------------------------------------
+
+    def range_search(self, query: np.ndarray, radius: float) -> list[RetrievedItem]:
+        """Exact local range search over *all* held items.
+
+        This is the second query phase: once a peer is contacted directly,
+        it filters with the original query, which is why Hyper-M's range
+        precision is 100%.
+        """
+        query = check_vector(query, "query", dim=self.dimensionality)
+        dists = distances_to_query(self.data, query)
+        hits = np.flatnonzero(dists <= radius + 1e-12)
+        return [
+            RetrievedItem(
+                item_id=int(self.item_ids[i]),
+                peer_id=self.peer_id,
+                distance=float(dists[i]),
+            )
+            for i in hits
+        ]
+
+    def nearest_items(self, query: np.ndarray, count: int) -> list[RetrievedItem]:
+        """The peer's ``count`` closest items to ``query`` (Figure 5 step 9)."""
+        query = check_vector(query, "query", dim=self.dimensionality)
+        if count <= 0:
+            return []
+        dists = distances_to_query(self.data, query)
+        count = min(count, dists.shape[0])
+        order = np.argpartition(dists, count - 1)[:count]
+        order = order[np.argsort(dists[order])]
+        return [
+            RetrievedItem(
+                item_id=int(self.item_ids[i]),
+                peer_id=self.peer_id,
+                distance=float(dists[i]),
+            )
+            for i in order
+        ]

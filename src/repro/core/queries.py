@@ -1,0 +1,199 @@
+"""Range and point query processing (paper Section 4.1).
+
+A range query runs in two phases:
+
+* **Index phase** — the query is translated into each published wavelet
+  subspace (Theorem 3.1 scales its radius by ``2^-(log d - l)/2``), an
+  overlay range query collects every cluster sphere the scaled query
+  intersects, and Eq. 1 scores each peer; scores aggregate across levels
+  by minimum. Theorem 4.1 guarantees no true answer's peer is pruned.
+* **Retrieval phase** — the top-scoring peers are contacted directly and
+  filter their items with the *original* query, so precision is 100%;
+  recall is bounded only by how many peers are contacted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import RangeQueryResult, sort_items_by_distance
+from repro.core.scoring import aggregate_scores, level_scores, rank_peers
+from repro.exceptions import EmptyNetworkError, QueryError
+from repro.net.messages import MessageKind, vector_message_size
+from repro.utils.validation import check_positive, check_vector
+from repro.wavelets.bounds import key_space_radius, radius_scale, to_unit_cube
+from repro.wavelets.multiresolution import decompose
+
+
+def _query_keys(network, query: np.ndarray) -> dict:
+    """Translate ``query`` into each published level's key space."""
+    decomposition = decompose(query)
+    keys = {}
+    for level in network.levels:
+        keys[level] = np.clip(to_unit_cube(decomposition[level], level), 0.0, 1.0)
+    return keys
+
+
+def _default_origin(network) -> int:
+    for peer_id, peer in network.peers.items():
+        if peer.online:
+            return peer_id
+    raise EmptyNetworkError("network has no online peers")
+
+
+def index_phase(
+    network,
+    query: np.ndarray,
+    epsilon: float,
+    *,
+    origin_peer: int,
+    aggregation: str | None = None,
+) -> tuple[dict[int, float], int]:
+    """Run the index phase; returns (aggregated peer scores, index hops)."""
+    keys = _query_keys(network, query)
+    per_level: dict = {}
+    hops = 0
+    for level in network.levels:
+        overlay = network.overlays[level]
+        origin_node = network.overlay_node(level, origin_peer)
+        scaled = epsilon * radius_scale(network.dimensionality, level)
+        radius = key_space_radius(scaled, level)
+        receipt = overlay.range_query(origin_node, keys[level], radius)
+        hops += receipt.total_hops
+        per_level[level] = level_scores(receipt.entries, keys[level], radius)
+    policy = aggregation or network.config.aggregation
+    return aggregate_scores(per_level, policy=policy), hops
+
+
+def contact_peers(
+    network,
+    ranked: list[tuple[int, float]],
+    *,
+    origin_peer: int,
+    max_peers: int | None,
+) -> tuple[list[int], int, list[int]]:
+    """Charge direct-contact requests to the fabric.
+
+    Returns ``(reached peer ids, request messages, failed peer ids)``.
+    Direct retrieval is modelled as one request per contacted peer over
+    the MANET radio (peers in a Hyper-M scenario are within a shared
+    space; no overlay routing is needed once the address is known).
+    Offline peers (MANET churn) still consume a contact attempt — the
+    querier learns of the failure only after the request times out — but
+    return nothing. Response traffic is charged separately, sized by the
+    items actually returned (:func:`charge_response`).
+    """
+    attempts = [peer_id for peer_id, __ in ranked]
+    if max_peers is not None:
+        attempts = attempts[:max_peers]
+    level0 = network.levels[0]
+    origin_node = network.overlay_node(level0, origin_peer)
+    request_size = vector_message_size(network.dimensionality, scalars=2)
+    messages = 0
+    reached: list[int] = []
+    failed: list[int] = []
+    for peer_id in attempts:
+        target_node = network.overlay_node(level0, peer_id)
+        if target_node != origin_node:
+            network.fabric.transmit(
+                origin_node, target_node, MessageKind.RETRIEVE, request_size
+            )
+            messages += 1
+        if not network.peers[peer_id].online:
+            failed.append(peer_id)  # request lost to a departed device
+            continue
+        reached.append(peer_id)
+    return reached, messages, failed
+
+
+def charge_response(network, origin_peer: int, peer_id: int, n_items: int) -> int:
+    """Charge one response message carrying ``n_items`` result vectors.
+
+    Each item ships its full vector plus id/distance metadata; an empty
+    response is still an acknowledgement (header-sized). Returns how many
+    messages were charged (0 when the peer answers itself).
+    """
+    level0 = network.levels[0]
+    origin_node = network.overlay_node(level0, origin_peer)
+    target_node = network.overlay_node(level0, peer_id)
+    if target_node == origin_node:
+        return 0
+    size = vector_message_size(
+        network.dimensionality * max(n_items, 0), scalars=2 * n_items
+    )
+    network.fabric.transmit(target_node, origin_node, MessageKind.DATA, size)
+    return 1
+
+
+def range_query(
+    network,
+    query: np.ndarray,
+    epsilon: float,
+    *,
+    max_peers: int | None = None,
+    origin_peer: int | None = None,
+    aggregation: str | None = None,
+) -> RangeQueryResult:
+    """Retrieve all items within ``epsilon`` of ``query`` (best effort).
+
+    Parameters
+    ----------
+    network:
+        A published :class:`repro.core.network.HyperMNetwork`.
+    query:
+        Query vector in the original ``d``-dimensional unit cube.
+    epsilon:
+        Query radius in the original space.
+    max_peers:
+        Contact at most this many of the top-scoring peers (the paper's
+        Figure 10a x-axis); ``None`` contacts every positive-score peer.
+    origin_peer:
+        Peer issuing the query (defaults to the first peer).
+    aggregation:
+        Override the cross-level score policy for this query.
+    """
+    query = check_vector(query, "query", dim=network.dimensionality)
+    check_positive(epsilon, "epsilon", strict=False)
+    origin = _default_origin(network) if origin_peer is None else origin_peer
+    if origin not in network.peers:
+        raise QueryError(f"unknown origin peer {origin}")
+    if not network.peers[origin].online:
+        raise QueryError(f"origin peer {origin} has left the network")
+
+    aggregated, index_hops = index_phase(
+        network, query, epsilon, origin_peer=origin, aggregation=aggregation
+    )
+    ranked = rank_peers(aggregated)
+    contacted, messages, failed = contact_peers(
+        network, ranked, origin_peer=origin, max_peers=max_peers
+    )
+    items = []
+    for peer_id in contacted:
+        found = network.peers[peer_id].range_search(query, epsilon)
+        messages += charge_response(network, origin, peer_id, len(found))
+        items.extend(found)
+    return RangeQueryResult(
+        items=sort_items_by_distance(items),
+        peer_scores=aggregated,
+        peers_contacted=contacted,
+        failed_contacts=failed,
+        index_hops=index_hops,
+        retrieval_messages=messages,
+    )
+
+
+def point_query(
+    network,
+    query: np.ndarray,
+    *,
+    origin_peer: int | None = None,
+    max_peers: int | None = None,
+) -> RangeQueryResult:
+    """Exact-match query: a range query of radius zero.
+
+    Index-phase clusters must *contain* the query point at every level;
+    contacted peers return items at distance 0.
+    """
+    return range_query(
+        network, query, 0.0, max_peers=max_peers, origin_peer=origin_peer
+    )

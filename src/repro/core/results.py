@@ -1,0 +1,201 @@
+"""Result and record types shared across the Hyper-M core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterRecord:
+    """What a published cluster-sphere entry carries as its payload.
+
+    Attributes
+    ----------
+    peer_id:
+        The peer whose items the cluster summarises — the unit of the
+        relevance score (Eq. 1) and the address for direct retrieval.
+    items:
+        Item count (the paper's ``items_c``).
+    level_name:
+        The wavelet subspace name (``"A"``, ``"D0"``, …) for tracing.
+    """
+
+    peer_id: int
+    items: int
+    level_name: str
+
+
+@dataclass(frozen=True)
+class RetrievedItem:
+    """An item returned by a query, with its true distance to the query."""
+
+    item_id: int
+    peer_id: int
+    distance: float
+
+
+@dataclass
+class RangeQueryResult:
+    """Outcome of a Hyper-M range query.
+
+    ``items`` are exact matches retrieved from the contacted peers (the
+    paper's precision is 100% by construction: peers filter locally with
+    the original query). Recall depends on which peers were contacted.
+    """
+
+    items: list = field(default_factory=list)
+    peer_scores: dict = field(default_factory=dict)
+    peers_contacted: list = field(default_factory=list)
+    failed_contacts: list = field(default_factory=list)
+    index_hops: int = 0
+    retrieval_messages: int = 0
+
+    @property
+    def item_ids(self) -> set:
+        """Ids of all retrieved items."""
+        return {item.item_id for item in self.items}
+
+    def describe(self, *, top: int = 5) -> str:
+        """A human-readable trace of how this query was answered.
+
+        Shows the top-scoring peers, which were contacted/failed, and the
+        retrieval outcome — the first place to look when recall surprises.
+        """
+        return _describe_query(
+            "range query", self, top=top, extra_lines=[]
+        )
+
+
+@dataclass
+class KnnResult:
+    """Outcome of the k-NN heuristic (paper Figure 5)."""
+
+    items: list = field(default_factory=list)
+    requested_k: int = 0
+    epsilon_per_level: dict = field(default_factory=dict)
+    peer_scores: dict = field(default_factory=dict)
+    peers_contacted: list = field(default_factory=list)
+    failed_contacts: list = field(default_factory=list)
+    index_hops: int = 0
+    retrieval_messages: int = 0
+
+    @property
+    def item_ids(self) -> set:
+        """Ids of all retrieved items (the full, possibly > k, set)."""
+        return {item.item_id for item in self.items}
+
+    def top_k_ids(self) -> set:
+        """Ids of the k closest retrieved items."""
+        ordered = sorted(self.items, key=lambda item: item.distance)
+        return {item.item_id for item in ordered[: self.requested_k]}
+
+    def describe(self, *, top: int = 5) -> str:
+        """A human-readable trace of how this k-NN query was answered."""
+        eps = ", ".join(
+            f"{level}: {value:.4f}"
+            for level, value in sorted(
+                self.epsilon_per_level.items(), key=lambda kv: str(kv[0])
+            )
+        )
+        return _describe_query(
+            f"k-NN query (k={self.requested_k})",
+            self,
+            top=top,
+            extra_lines=[f"estimated per-level radii: {eps}"],
+        )
+
+
+def _describe_query(kind: str, result, *, top: int, extra_lines: list) -> str:
+    """Shared rendering behind the ``describe`` methods."""
+    ranked = sorted(
+        result.peer_scores.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    contacted = set(result.peers_contacted)
+    failed = set(result.failed_contacts)
+    lines = [
+        f"{kind}: {len(result.items)} item(s) retrieved from "
+        f"{len(contacted)} peer(s)",
+        f"index traffic: {result.index_hops} hops; retrieval: "
+        f"{result.retrieval_messages} messages"
+        + (f"; {len(failed)} contact(s) failed" if failed else ""),
+    ]
+    lines.extend(extra_lines)
+    lines.append(f"top {min(top, len(ranked))} candidate peers by score:")
+    for peer_id, score in ranked[:top]:
+        status = (
+            "contacted"
+            if peer_id in contacted
+            else "unreachable"
+            if peer_id in failed
+            else "not contacted"
+        )
+        supplied = sum(1 for item in result.items if item.peer_id == peer_id)
+        lines.append(
+            f"  peer {peer_id:>4}  score {score:10.3f}  [{status}]"
+            + (f"  supplied {supplied}" if supplied else "")
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class DisseminationReport:
+    """Accounting for publishing one or many peers' summaries.
+
+    The paper's Figure 8 metrics derive from these counters: hops per item
+    is ``total_hops / items_published`` (the averaging that makes values
+    below 1 possible — summaries, not items, are inserted).
+    """
+
+    items_published: int = 0
+    spheres_inserted: int = 0
+    routing_hops: int = 0
+    replica_hops: int = 0
+    bytes_sent: int = 0
+    energy: float = 0.0
+
+    @property
+    def total_hops(self) -> int:
+        """Routing plus replication hops."""
+        return self.routing_hops + self.replica_hops
+
+    @property
+    def hops_per_item(self) -> float:
+        """The paper's headline dissemination metric."""
+        if self.items_published == 0:
+            return 0.0
+        return self.total_hops / self.items_published
+
+    @property
+    def hops_per_sphere(self) -> float:
+        """Average overlay cost per inserted summary."""
+        if self.spheres_inserted == 0:
+            return 0.0
+        return self.total_hops / self.spheres_inserted
+
+    def merge(self, other: "DisseminationReport") -> "DisseminationReport":
+        """Combine two reports."""
+        return DisseminationReport(
+            items_published=self.items_published + other.items_published,
+            spheres_inserted=self.spheres_inserted + other.spheres_inserted,
+            routing_hops=self.routing_hops + other.routing_hops,
+            replica_hops=self.replica_hops + other.replica_hops,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            energy=self.energy + other.energy,
+        )
+
+
+def sort_items_by_distance(items: list) -> list:
+    """Order retrieved items by ascending true distance (Figure 5 step 10)."""
+    return sorted(items, key=lambda item: (item.distance, item.item_id))
+
+
+def distances_to_query(
+    data: np.ndarray, query: np.ndarray
+) -> np.ndarray:
+    """Euclidean distances of each row of ``data`` to ``query``."""
+    return np.linalg.norm(
+        np.asarray(data, dtype=np.float64) - np.asarray(query, dtype=np.float64),
+        axis=1,
+    )

@@ -1,0 +1,133 @@
+"""Persist and restore peer summaries (JSON).
+
+Building a summary — the wavelet decomposition plus one k-means run per
+subspace — is the only computationally heavy step on a mobile device. The
+paper's scenarios recur (the same commuters meet every morning; the same
+attendees return after the coffee break), so a peer that persists its
+summaries can rejoin a fresh overlay and publish *immediately*, skipping
+step *i1*/*i2* entirely.
+
+The format is plain JSON (no pickle: summaries may be exchanged between
+untrusted devices).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.clustering.spheres import ClusterSphere
+from repro.clustering.summaries import PeerSummary
+from repro.exceptions import ValidationError
+from repro.wavelets.multiresolution import Level
+
+#: Format tag written into every file; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def _level_to_token(level: Level) -> str:
+    return str(level)
+
+
+def _level_from_token(token: str) -> Level:
+    if token == "A":
+        return Level.approximation()
+    if token.startswith("D") and token[1:].isdigit():
+        return Level.detail(int(token[1:]))
+    raise ValidationError(f"unknown level token {token!r}")
+
+
+def summary_to_dict(summary: PeerSummary) -> dict:
+    """Convert a :class:`PeerSummary` into a JSON-safe dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "dimensionality": summary.dimensionality,
+        "levels": [_level_to_token(level) for level in summary.levels],
+        "spheres": {
+            _level_to_token(level): [
+                {
+                    "centroid": sphere.centroid.tolist(),
+                    "radius": sphere.radius,
+                    "items": sphere.items,
+                }
+                for sphere in spheres
+            ]
+            for level, spheres in summary.spheres.items()
+        },
+        "labels": {
+            _level_to_token(level): labels.tolist()
+            for level, labels in summary.labels.items()
+        },
+    }
+
+
+def summary_from_dict(payload: dict) -> PeerSummary:
+    """Rebuild a :class:`PeerSummary` from :func:`summary_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise ValidationError("summary payload must be a dict")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported summary format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        levels = tuple(
+            _level_from_token(token) for token in payload["levels"]
+        )
+        spheres = {
+            _level_from_token(token): [
+                ClusterSphere(
+                    centroid=np.asarray(record["centroid"], dtype=np.float64),
+                    radius=float(record["radius"]),
+                    items=int(record["items"]),
+                )
+                for record in records
+            ]
+            for token, records in payload["spheres"].items()
+        }
+        labels = {
+            _level_from_token(token): np.asarray(values, dtype=np.int64)
+            for token, values in payload["labels"].items()
+        }
+        summary = PeerSummary(
+            dimensionality=int(payload["dimensionality"]),
+            levels=levels,
+            spheres=spheres,
+            labels=labels,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed summary payload: {exc}") from exc
+    _validate_summary(summary)
+    return summary
+
+
+def _validate_summary(summary: PeerSummary) -> None:
+    """Consistency checks on a deserialised summary."""
+    for level in summary.levels:
+        if level not in summary.spheres:
+            raise ValidationError(f"summary missing spheres for {level}")
+        for sphere in summary.spheres[level]:
+            if sphere.dimensionality != level.dimensionality:
+                raise ValidationError(
+                    f"sphere dimensionality {sphere.dimensionality} does "
+                    f"not match level {level}"
+                )
+
+
+def save_summary(summary: PeerSummary, path) -> None:
+    """Write a summary to ``path`` as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(summary_to_dict(summary)))
+
+
+def load_summary(path) -> PeerSummary:
+    """Read a summary previously written by :func:`save_summary`."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+    return summary_from_dict(payload)

@@ -1,0 +1,28 @@
+"""Workload generators reproducing the paper's datasets.
+
+* :mod:`repro.datasets.markov` — Section 5.1's synthetic 512-d feature
+  vectors from a two-state (Increasing/Decreasing) Markov process.
+* :mod:`repro.datasets.histograms` — a synthetic stand-in for the
+  Amsterdam Library of Object Images (ALOI): objects rendered as colour
+  histograms under varying view/illumination (see DESIGN.md §4).
+* :mod:`repro.datasets.skewed` — intentionally skewed data (a handful of
+  selected clusters) for the Figure 9 distribution study.
+* :mod:`repro.datasets.partition` — the paper's cluster-to-peer
+  assignment: global k-means, each cluster spread over 8–10 peers.
+"""
+
+from repro.datasets.audio import AudioDataset, generate_audio_features
+from repro.datasets.histograms import HistogramDataset, generate_histograms
+from repro.datasets.markov import generate_markov_vectors
+from repro.datasets.partition import partition_among_peers
+from repro.datasets.skewed import generate_skewed_dataset
+
+__all__ = [
+    "generate_markov_vectors",
+    "generate_histograms",
+    "HistogramDataset",
+    "generate_audio_features",
+    "AudioDataset",
+    "generate_skewed_dataset",
+    "partition_among_peers",
+]

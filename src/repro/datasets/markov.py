@@ -1,0 +1,73 @@
+"""Synthetic feature vectors from a two-state Markov process (paper §5.1).
+
+Each vector is a walk over its coordinates driven by two states,
+*Increasing* and *Decreasing* (paper Figure 7a). Per vector:
+
+* ``p1`` — probability of leaving Increasing — uniform in ``[0, 0.5]``;
+* ``p2 = p1 + x`` with ``x`` uniform in ``[-0.05, 0.05]`` — probability of
+  leaving Decreasing;
+* the starting value, initial state, per-step increments, and the maximum
+  step value are all drawn randomly.
+
+Values are reflected into ``[0, 1]`` so the vectors live in the unit cube
+(the paper plots similarly bounded waveforms in Figure 7b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+
+def generate_markov_vectors(
+    n_items: int,
+    dimensionality: int = 512,
+    *,
+    max_step_bound: float = 0.1,
+    rng=None,
+) -> np.ndarray:
+    """Generate ``(n_items, dimensionality)`` Markov-process feature vectors.
+
+    Parameters
+    ----------
+    n_items:
+        Number of vectors (the paper generates 100,000).
+    dimensionality:
+        Coordinates per vector (the paper uses 512).
+    max_step_bound:
+        Upper bound for each vector's randomly drawn maximum step size.
+    rng:
+        Seed or generator.
+    """
+    if n_items < 1:
+        raise ValidationError(f"n_items must be >= 1, got {n_items}")
+    if dimensionality < 1:
+        raise ValidationError(
+            f"dimensionality must be >= 1, got {dimensionality}"
+        )
+    generator = ensure_rng(rng)
+
+    p1 = generator.uniform(0.0, 0.5, size=n_items)
+    p2 = np.clip(p1 + generator.uniform(-0.05, 0.05, size=n_items), 0.0, 1.0)
+    # state: +1 = Increasing, -1 = Decreasing; switch probability depends on
+    # the current state (p1 out of Increasing, p2 out of Decreasing).
+    state = np.where(generator.random(n_items) < 0.5, 1.0, -1.0)
+    value = generator.random(n_items)
+    max_step = generator.uniform(0.0, max_step_bound, size=n_items)
+
+    out = np.empty((n_items, dimensionality), dtype=np.float64)
+    out[:, 0] = value
+    for coord in range(1, dimensionality):
+        switch_prob = np.where(state > 0, p1, p2)
+        flips = generator.random(n_items) < switch_prob
+        state = np.where(flips, -state, state)
+        steps = generator.random(n_items) * max_step
+        value = value + state * steps
+        # Reflect at the cube walls so values stay in [0, 1] without the
+        # distribution piling up at the boundary.
+        value = np.abs(value)
+        value = 1.0 - np.abs(1.0 - value)
+        out[:, coord] = value
+    return out

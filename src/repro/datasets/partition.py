@@ -1,0 +1,102 @@
+"""Cluster-to-peer assignment (paper §5.1).
+
+"The data was subsequently clustered using k-means in the original vector
+space and then each cluster was redistributed among 8 to 10 nodes. This
+method simulates user behavior in the sense that each user commonly has a
+limited set of interests."
+
+Given ``n_peers`` and a target ``clusters_per_peer``, we form
+``n_peers * clusters_per_peer / avg_replication`` global clusters, assign
+each to 8–10 random peers, and split its items among them — so each peer
+ends up holding items from roughly ``clusters_per_peer`` interest classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_matrix
+
+
+def partition_among_peers(
+    data: np.ndarray,
+    n_peers: int,
+    *,
+    clusters_per_peer: int = 10,
+    peers_per_cluster: tuple[int, int] = (8, 10),
+    item_ids: np.ndarray | None = None,
+    rng=None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split ``data`` across ``n_peers`` peers by shared-interest clusters.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` global dataset.
+    n_peers:
+        Number of peers (the paper's dissemination tests use 100).
+    clusters_per_peer:
+        Interest classes per peer (drives the number of global clusters).
+    peers_per_cluster:
+        Inclusive range of peers sharing each cluster (paper: 8–10).
+    item_ids:
+        Global ids (default ``range(n)``).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    list of (data, item_ids)
+        One entry per peer. Every item is assigned to exactly one peer;
+        every peer receives at least one item.
+    """
+    data = check_matrix(data, "data")
+    n = data.shape[0]
+    if n_peers < 1:
+        raise ValidationError(f"n_peers must be >= 1, got {n_peers}")
+    if n < n_peers:
+        raise ValidationError(
+            f"cannot spread {n} items over {n_peers} peers"
+        )
+    lo, hi = peers_per_cluster
+    if not 1 <= lo <= hi:
+        raise ValidationError(
+            f"peers_per_cluster must satisfy 1 <= lo <= hi, got {peers_per_cluster}"
+        )
+    if item_ids is None:
+        item_ids = np.arange(n, dtype=np.int64)
+    item_ids = np.asarray(item_ids, dtype=np.int64)
+    generator = ensure_rng(rng)
+
+    avg_spread = (lo + hi) / 2.0
+    n_clusters = max(1, round(n_peers * clusters_per_peer / avg_spread))
+    n_clusters = min(n_clusters, n)
+    clustering = kmeans(data, n_clusters, rng=generator)
+
+    assignments: list[list[int]] = [[] for __ in range(n_peers)]
+    for cluster in range(n_clusters):
+        members = np.flatnonzero(clustering.labels == cluster)
+        if members.size == 0:
+            continue
+        generator.shuffle(members)
+        spread = min(int(generator.integers(lo, hi + 1)), n_peers, members.size)
+        holders = generator.choice(n_peers, size=spread, replace=False)
+        for i, item in enumerate(members):
+            assignments[holders[i % spread]].append(int(item))
+
+    # Guarantee every peer holds something: move singles from the richest.
+    empty = [p for p in range(n_peers) if not assignments[p]]
+    for peer in empty:
+        donor = max(range(n_peers), key=lambda p: len(assignments[p]))
+        if len(assignments[donor]) <= 1:
+            raise ValidationError("not enough items to populate every peer")
+        assignments[peer].append(assignments[donor].pop())
+
+    out = []
+    for rows in assignments:
+        idx = np.asarray(rows, dtype=np.int64)
+        out.append((data[idx], item_ids[idx]))
+    return out

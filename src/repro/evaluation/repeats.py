@@ -1,0 +1,91 @@
+"""Multi-seed repetition: mean ± std for any experiment runner.
+
+The per-figure benchmarks run at fixed seeds for reproducibility; this
+module answers "is that shape a seed artefact?" by repeating a runner
+across seeds and aggregating each extracted metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class RepeatedMetric:
+    """A metric aggregated over seeds."""
+
+    key: str
+    mean: float
+    std: float
+    n: int
+    values: tuple
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n else 0.0
+
+    def formatted(self, precision: int = 3) -> str:
+        """``mean ± std`` rendering."""
+        return f"{self.mean:.{precision}f} ± {self.std:.{precision}f}"
+
+
+def repeat_experiment(
+    runner,
+    *,
+    seeds,
+    extract,
+    **kwargs,
+) -> dict[str, RepeatedMetric]:
+    """Run ``runner(rng=seed, **kwargs)`` per seed and aggregate metrics.
+
+    Parameters
+    ----------
+    runner:
+        Any experiment function taking an ``rng`` keyword (all the
+        ``run_fig*`` runners qualify).
+    seeds:
+        Iterable of seeds; at least two for a meaningful std.
+    extract:
+        Callable mapping one runner result to ``{metric_key: float}``.
+        Keys must be identical across seeds.
+    kwargs:
+        Passed through to the runner on every repetition.
+
+    Returns
+    -------
+    dict mapping each metric key to its :class:`RepeatedMetric`.
+    """
+    seeds = list(seeds)
+    if len(seeds) < 2:
+        raise ValidationError("repeat_experiment needs at least two seeds")
+    collected: dict[str, list[float]] = {}
+    expected_keys: set[str] | None = None
+    for seed in seeds:
+        metrics = extract(runner(rng=seed, **kwargs))
+        keys = set(metrics)
+        if expected_keys is None:
+            expected_keys = keys
+        elif keys != expected_keys:
+            raise ValidationError(
+                "extract returned inconsistent metric keys across seeds: "
+                f"{sorted(keys ^ expected_keys)}"
+            )
+        for key, value in metrics.items():
+            collected.setdefault(key, []).append(float(value))
+    out: dict[str, RepeatedMetric] = {}
+    for key, values in collected.items():
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        out[key] = RepeatedMetric(
+            key=key,
+            mean=mean,
+            std=math.sqrt(variance),
+            n=n,
+            values=tuple(values),
+        )
+    return out

@@ -1,0 +1,42 @@
+"""Render experiment rows as paper-style tables."""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+
+from repro.utils.tables import format_table
+
+
+def rows_to_table(rows, *, title: str | None = None, precision: int = 3) -> str:
+    """Format a list of (same-type) dataclass rows as an ASCII table."""
+    if not rows:
+        return title or "(no rows)"
+    first = rows[0]
+    if not is_dataclass(first):
+        raise TypeError("rows_to_table expects dataclass instances")
+    names = [f.name for f in fields(first)]
+    body = [[getattr(row, name) for name in names] for row in rows]
+    return format_table(names, body, title=title, precision=precision)
+
+
+def series_to_table(
+    series_by_label: dict, *, x_name: str = "x", title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Format ``{label: [RecallSeries]}`` as one table, mean (min–max)."""
+    labels = list(series_by_label)
+    if not labels:
+        return title or "(no series)"
+    xs = [point.x for point in series_by_label[labels[0]]]
+    headers = [x_name] + [str(label) for label in labels]
+    rows = []
+    for i, x in enumerate(xs):
+        cells = [x]
+        for label in labels:
+            point = series_by_label[label][i]
+            cells.append(
+                f"{point.mean:.{precision}f} "
+                f"({point.min:.{precision}f}-{point.max:.{precision}f})"
+            )
+        rows.append(cells)
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Hyper-M reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or value)."""
+
+
+class DimensionalityError(ValidationError):
+    """A vector or dataset has an unsupported dimensionality.
+
+    The wavelet decomposition requires power-of-two dimensionality; overlay
+    operations require keys matching the overlay's dimensionality.
+    """
+
+
+class OverlayError(ReproError):
+    """An overlay-level operation failed (routing, join, insertion)."""
+
+
+class RoutingError(OverlayError):
+    """Greedy routing could not make progress towards the target key."""
+
+
+class EmptyNetworkError(OverlayError):
+    """An operation required at least one node but the overlay is empty."""
+
+
+class ClusteringError(ReproError):
+    """k-means could not produce a valid clustering."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical procedure (e.g. the Eq. 8 inversion) failed to converge."""
+
+
+class QueryError(ReproError):
+    """A query was malformed or could not be executed."""

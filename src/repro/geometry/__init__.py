@@ -1,0 +1,30 @@
+"""Hypersphere geometry: cap and intersection volumes, ε-inversion.
+
+Implements the paper's Equations 5–7 (volume fraction of a hyperspherical
+cap and of the intersection of two hyperspheres) and the numerical
+inversion of Equation 8 that turns a requested result count ``k`` into a
+range-query radius ``ε`` for the k-NN heuristic.
+"""
+
+from repro.geometry.epsilon import (
+    estimate_epsilon_for_k,
+    expected_items,
+)
+from repro.geometry.intersection import (
+    cap_fraction,
+    cap_fraction_series_even,
+    intersection_fraction,
+)
+from repro.geometry.montecarlo import monte_carlo_intersection_fraction
+from repro.geometry.sphere import ball_volume, unit_ball_volume
+
+__all__ = [
+    "ball_volume",
+    "unit_ball_volume",
+    "cap_fraction",
+    "cap_fraction_series_even",
+    "intersection_fraction",
+    "expected_items",
+    "estimate_epsilon_for_k",
+    "monte_carlo_intersection_fraction",
+]

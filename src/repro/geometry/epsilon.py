@@ -1,0 +1,138 @@
+"""Numerical inversion of Eq. 8: from a result count ``k`` to a radius ``ε``.
+
+Eq. 8 estimates how many items a range query of radius ``ε`` retrieves::
+
+    k = sum_c  frac(sphere_c, sphere_q(ε)) * items_c
+
+The fraction (Eq. 7) is a high-order trigonometric-polynomial function of
+``ε`` with no analytical inverse, so — as the paper suggests — we invert it
+numerically. The function is monotonically non-decreasing in ``ε``, which
+makes bracketed root-finding (``brentq``) both robust and fast; a Newton
+variant is exposed too since the paper names Newton's method.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.clustering.spheres import ClusterSphere
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.geometry.intersection import intersection_fraction
+from repro.utils.validation import check_positive, check_vector
+
+
+def expected_items(
+    epsilon: float,
+    spheres: list[ClusterSphere],
+    query_center: np.ndarray,
+    *,
+    d: int | None = None,
+) -> float:
+    """Eq. 8 right-hand side: expected items inside a radius-``epsilon`` query.
+
+    Parameters
+    ----------
+    epsilon:
+        Query radius.
+    spheres:
+        Reachable cluster spheres (all in the same subspace).
+    query_center:
+        Query point in that subspace.
+    d:
+        Dimensionality used for the volume formulas; defaults to the
+        subspace dimensionality.
+    """
+    check_positive(epsilon, "epsilon", strict=False)
+    query_center = check_vector(query_center, "query_center")
+    if not spheres:
+        return 0.0
+    dim = d if d is not None else query_center.shape[0]
+    total = 0.0
+    for sphere in spheres:
+        b = sphere.distance_to_center(query_center)
+        total += intersection_fraction(sphere.radius, epsilon, b, dim) * sphere.items
+    return total
+
+
+def estimate_epsilon_for_k(
+    k: float,
+    spheres: list[ClusterSphere],
+    query_center: np.ndarray,
+    *,
+    d: int | None = None,
+    tol: float = 1e-6,
+    method: str = "brentq",
+    max_iter: int = 200,
+) -> float:
+    """Invert Eq. 8: the smallest ``ε`` whose expected retrieval reaches ``k``.
+
+    When ``k`` meets or exceeds the total number of summarised items, the
+    radius that covers every reachable sphere is returned (no larger radius
+    can help). With no reachable spheres at all, 0.0 is returned and the
+    caller should fall back to flooding.
+
+    Parameters
+    ----------
+    method:
+        ``"brentq"`` (default, bracketed, always converges on monotone
+        input) or ``"newton"`` (the paper's named method, with bisection
+        safeguard on overshoot).
+    """
+    if k < 0:
+        raise ValidationError(f"k must be >= 0, got {k}")
+    query_center = check_vector(query_center, "query_center")
+    if not spheres or k == 0:
+        return 0.0
+    total_items = float(sum(s.items for s in spheres))
+    eps_max = max(
+        s.distance_to_center(query_center) + s.radius for s in spheres
+    )
+    if k >= total_items:
+        return float(eps_max)
+
+    def gap(eps: float) -> float:
+        return expected_items(eps, spheres, query_center, d=d) - k
+
+    if gap(eps_max) <= 0.0:
+        # Numerical slack at full coverage; the max radius is the answer.
+        return float(eps_max)
+    if gap(0.0) >= 0.0:
+        # Zero-radius spheres exactly at the query already supply k items.
+        return 0.0
+    if method == "brentq":
+        return float(brentq(gap, 0.0, eps_max, xtol=tol, maxiter=max_iter))
+    if method == "newton":
+        return _safeguarded_newton(gap, 0.0, eps_max, tol, max_iter)
+    raise ValidationError(f"unknown method {method!r}; use 'brentq' or 'newton'")
+
+
+def _safeguarded_newton(
+    gap, lo: float, hi: float, tol: float, max_iter: int
+) -> float:
+    """Newton iteration with finite-difference slope and bisection fallback."""
+    x = 0.5 * (lo + hi)
+    for _ in range(max_iter):
+        g = gap(x)
+        if abs(g) < tol:
+            return float(x)
+        if g > 0:
+            hi = x
+        else:
+            lo = x
+        h = max(1e-8, 1e-6 * max(abs(x), 1.0))
+        slope = (gap(x + h) - g) / h
+        if slope > 0 and math.isfinite(slope):
+            step = x - g / slope
+        else:
+            step = 0.5 * (lo + hi)
+        if not lo < step < hi:
+            step = 0.5 * (lo + hi)
+        if abs(step - x) < tol:
+            return float(step)
+        x = step
+    raise ConvergenceError(
+        f"Newton inversion of Eq. 8 did not converge in {max_iter} iterations"
+    )

@@ -1,0 +1,111 @@
+"""Hyperspherical cap and two-sphere intersection volume fractions.
+
+The paper's Eq. 5 gives the cap fraction for even ``d`` as a finite
+trigonometric series; Eq. 6 sums two caps for the lens-shaped intersection,
+and Eq. 7 rewrites the angles via the cosine rule. We implement:
+
+* :func:`cap_fraction` — the cap fraction for *any* ``d`` via the
+  regularised incomplete beta function (the closed form the series expands);
+* :func:`cap_fraction_series_even` — the paper's literal Eq. 5 series
+  (even ``d``), kept for fidelity and cross-checked against the beta form
+  in the tests;
+* :func:`intersection_fraction` — Eq. 6/7 with all degenerate placements
+  (disjoint, containment, zero-radius) handled explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import betainc
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+
+def cap_fraction(alpha: float, d: int) -> float:
+    """Fraction of a ``d``-ball's volume in the cap of half-angle ``alpha``.
+
+    ``alpha`` is the angle, measured at the ball's centre, between the cap's
+    axis and its rim (the paper's Figure 4). ``alpha = 0`` gives 0,
+    ``alpha = pi/2`` a hemisphere, ``alpha = pi`` the whole ball.
+    """
+    if d < 1 or d != int(d):
+        raise ValidationError(f"dimension must be a positive integer, got {d}")
+    if not 0.0 <= alpha <= math.pi + 1e-12:
+        raise ValidationError(f"alpha must be in [0, pi], got {alpha}")
+    alpha = min(alpha, math.pi)
+    if alpha <= math.pi / 2.0:
+        s = math.sin(alpha)
+        return 0.5 * float(betainc((d + 1) / 2.0, 0.5, s * s))
+    # Caps beyond a hemisphere: complement of the opposite cap.
+    return 1.0 - cap_fraction(math.pi - alpha, d)
+
+
+def cap_fraction_series_even(alpha: float, d: int) -> float:
+    """The paper's Eq. 5 series for the cap fraction (even ``d`` only).
+
+    ``V_cap / V_sphere = (1/pi) * (alpha - cos(alpha) * sum_i c_i sin^{2i+1}(alpha))``
+    with ``c_i = 2^{2i} (i!)^2 / (2i+1)!`` and ``i = 0 … (d-2)/2``.
+    """
+    if d < 2 or d % 2 != 0:
+        raise ValidationError(f"Eq. 5 series requires even d >= 2, got {d}")
+    if not 0.0 <= alpha <= math.pi + 1e-12:
+        raise ValidationError(f"alpha must be in [0, pi], got {alpha}")
+    sin_a = math.sin(alpha)
+    series = 0.0
+    coef = 1.0  # c_0 = 1
+    sin_pow = sin_a  # sin^{2i+1}
+    for i in range(d // 2):
+        series += coef * sin_pow
+        # c_{i+1} / c_i = 4 (i+1)^2 / ((2i+2)(2i+3)) = 2(i+1) / (2i+3)
+        coef *= 2.0 * (i + 1) / (2.0 * i + 3.0)
+        sin_pow *= sin_a * sin_a
+    return (alpha - math.cos(alpha) * series) / math.pi
+
+
+def intersection_fraction(
+    data_radius: float, query_radius: float, center_distance: float, d: int
+) -> float:
+    """``Vol(sphere_c ∩ sphere_q) / Vol(sphere_c)`` — Eq. 6/7.
+
+    Parameters
+    ----------
+    data_radius:
+        Radius ``r`` of the data-cluster sphere (may be 0 for singletons).
+    query_radius:
+        Radius ``ε`` of the query sphere (may be 0 for point queries).
+    center_distance:
+        Distance ``b`` between the two centres.
+    d:
+        Dimensionality of the space.
+
+    Returns
+    -------
+    float in [0, 1]
+        The fraction of the data sphere covered by the query sphere. With
+        ``data_radius == 0`` the data sphere is a point: 1.0 when the point
+        lies inside the query sphere, else 0.0.
+    """
+    r = check_positive(data_radius, "data_radius", strict=False)
+    eps = check_positive(query_radius, "query_radius", strict=False)
+    b = check_positive(center_distance, "center_distance", strict=False)
+    if d < 1 or d != int(d):
+        raise ValidationError(f"dimension must be a positive integer, got {d}")
+
+    if r == 0.0:
+        return 1.0 if b <= eps else 0.0
+    if b >= r + eps:
+        return 0.0
+    if b + r <= eps:
+        return 1.0  # data sphere entirely inside the query sphere
+    if b + eps <= r:
+        # Query sphere entirely inside the data sphere.
+        return (eps / r) ** d
+    # Proper lens: sum of two caps (Eq. 6), angles from the cosine rule (Eq. 7).
+    cos_alpha = (r * r + b * b - eps * eps) / (2.0 * r * b)
+    cos_beta = (eps * eps + b * b - r * r) / (2.0 * eps * b)
+    alpha = math.acos(min(1.0, max(-1.0, cos_alpha)))
+    beta = math.acos(min(1.0, max(-1.0, cos_beta)))
+    lens = cap_fraction(alpha, d) + cap_fraction(beta, d) * (eps / r) ** d
+    return min(1.0, max(0.0, lens))

@@ -1,0 +1,53 @@
+"""Monte-Carlo cross-check for the analytic intersection fractions.
+
+Used by the test suite to validate Eq. 5–7 against brute-force sampling,
+and available to users as an independent estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_vector
+
+
+def sample_in_ball(
+    n: int, center: np.ndarray, radius: float, rng=None
+) -> np.ndarray:
+    """Draw ``n`` points uniformly from the ball ``(center, radius)``.
+
+    Uses the classic Gaussian-direction, ``U^(1/d)``-radius construction.
+    """
+    center = check_vector(center, "center")
+    check_positive(radius, "radius", strict=False)
+    generator = ensure_rng(rng)
+    d = center.shape[0]
+    directions = generator.normal(size=(n, d))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    radii = radius * generator.random(size=(n, 1)) ** (1.0 / d)
+    return center + directions / norms * radii
+
+
+def monte_carlo_intersection_fraction(
+    data_center: np.ndarray,
+    data_radius: float,
+    query_center: np.ndarray,
+    query_radius: float,
+    *,
+    n_samples: int = 100_000,
+    rng=None,
+) -> float:
+    """Estimate ``Vol(c ∩ q) / Vol(c)`` by sampling inside the data sphere."""
+    data_center = check_vector(data_center, "data_center")
+    query_center = check_vector(query_center, "query_center", dim=data_center.shape[0])
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    if data_radius == 0.0:
+        dist = float(np.linalg.norm(query_center - data_center))
+        return 1.0 if dist <= query_radius else 0.0
+    points = sample_in_ball(n_samples, data_center, data_radius, rng)
+    dists = np.linalg.norm(points - query_center, axis=1)
+    return float(np.mean(dists <= query_radius))

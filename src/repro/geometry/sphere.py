@@ -1,0 +1,21 @@
+"""d-dimensional ball volumes."""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+
+def unit_ball_volume(d: int) -> float:
+    """Volume of the unit ball in ``d`` dimensions: ``pi^(d/2) / Γ(d/2 + 1)``."""
+    if d < 1 or d != int(d):
+        raise ValidationError(f"dimension must be a positive integer, got {d}")
+    return math.pi ** (d / 2.0) / math.gamma(d / 2.0 + 1.0)
+
+
+def ball_volume(radius: float, d: int) -> float:
+    """Volume of the ``d``-ball of the given radius."""
+    check_positive(radius, "radius", strict=False)
+    return unit_ball_volume(d) * radius ** d

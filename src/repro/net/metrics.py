@@ -1,0 +1,82 @@
+"""Hop, message, and byte counters — the quantities the paper's figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.messages import MessageKind
+from repro.utils.stats import RunningStats
+
+
+@dataclass
+class OperationMetrics:
+    """Counters for one operation category (insert, query, …)."""
+
+    messages: int = 0
+    hops: int = 0
+    bytes: int = 0
+    per_op_hops: RunningStats = field(default_factory=RunningStats)
+
+    def record_transmit(self, size_bytes: int) -> None:
+        """Record a single hop transmission."""
+        self.messages += 1
+        self.hops += 1
+        self.bytes += size_bytes
+
+    def finish_operation(self, hops: int) -> None:
+        """Record a completed logical operation taking ``hops`` total hops."""
+        self.per_op_hops.add(float(hops))
+
+
+@dataclass
+class NetworkMetrics:
+    """Network-wide counters, split by message kind."""
+
+    by_kind: dict = field(default_factory=dict)
+
+    def _bucket(self, kind: MessageKind) -> OperationMetrics:
+        bucket = self.by_kind.get(kind)
+        if bucket is None:
+            bucket = OperationMetrics()
+            self.by_kind[kind] = bucket
+        return bucket
+
+    def record_transmit(self, kind: MessageKind, size_bytes: int) -> None:
+        """Record one hop of a message of the given kind."""
+        self._bucket(kind).record_transmit(size_bytes)
+
+    def finish_operation(self, kind: MessageKind, hops: int) -> None:
+        """Record a completed logical operation of the given kind."""
+        self._bucket(kind).finish_operation(hops)
+
+    @property
+    def total_messages(self) -> int:
+        """All messages transmitted across kinds."""
+        return sum(b.messages for b in self.by_kind.values())
+
+    @property
+    def total_hops(self) -> int:
+        """All hops across kinds."""
+        return sum(b.hops for b in self.by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved across kinds."""
+        return sum(b.bytes for b in self.by_kind.values())
+
+    def kind(self, kind: MessageKind) -> OperationMetrics:
+        """Counters for ``kind`` (zeroed bucket when never used)."""
+        return self._bucket(kind)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            kind.value: {
+                "messages": b.messages,
+                "hops": b.hops,
+                "bytes": b.bytes,
+                "mean_hops_per_op": b.per_op_hops.mean,
+                "ops": b.per_op_hops.count,
+            }
+            for kind, b in self.by_kind.items()
+        }

@@ -1,0 +1,23 @@
+"""Base class for simulated nodes."""
+
+from __future__ import annotations
+
+from repro.net.messages import Message
+
+
+class SimNode:
+    """A node attached to a :class:`repro.net.network.Network`.
+
+    Subclasses override :meth:`handle_message` to react to deliveries when
+    running in scheduled (event-driven) mode. Overlay implementations that
+    route synchronously may never need it.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+    def handle_message(self, message: Message) -> None:  # pragma: no cover
+        """React to a delivered message. Default: ignore."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(id={self.node_id})"

@@ -1,0 +1,40 @@
+"""Structured P2P overlays.
+
+:mod:`repro.overlay.can` is a full CAN implementation [Ratnasamy et al.,
+SIGCOMM 2001] — the overlay the paper evaluates on: a ``[0,1]^m`` torus key
+space partitioned into zones, greedy routing over neighbour tables, zone
+replication for non-zero-sized (sphere) objects (paper Figure 6), and the
+departure protocol (zone merge / sibling-pair handoff / temporary
+multi-zone takeover).
+
+Two further substrates back the paper's overlay-independence claim:
+
+* :mod:`repro.overlay.baton` — BATON [Jagadish, Ooi, Vu, VLDB 2005], the
+  balanced tree overlay the paper names explicitly;
+* :mod:`repro.overlay.vbi` — the VBI-tree [ICDE 2006], the paper's third
+  named overlay: a distributed KD-tree with virtual internal nodes,
+  natively multi-dimensional;
+* :mod:`repro.overlay.ring` — a Chord-style ring.
+
+BATON and the ring index multi-dimensional keys through the Z-order
+machinery shared in :mod:`repro.overlay.morton`; the VBI-tree partitions
+the multi-dimensional space directly.
+"""
+
+from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
+from repro.overlay.baton import BatonNetwork
+from repro.overlay.can import CANNetwork, Zone
+from repro.overlay.ring import RingNetwork
+from repro.overlay.vbi import VBITree
+
+__all__ = [
+    "Overlay",
+    "StoredEntry",
+    "InsertReceipt",
+    "RangeReceipt",
+    "CANNetwork",
+    "Zone",
+    "RingNetwork",
+    "BatonNetwork",
+    "VBITree",
+]

@@ -1,0 +1,113 @@
+"""Abstract overlay interface and shared receipt types.
+
+Hyper-M "works independently of the underlying overlay structure" (paper
+contribution 1); this interface is the contract it relies on: insert a
+(possibly sphere-shaped) keyed entry, and find all entries intersecting a
+query sphere, with hop accounting for both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_vector
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One published object: a key point, an extent radius, and a payload.
+
+    ``radius == 0`` is a plain point object (e.g. a raw data item);
+    ``radius > 0`` is a cluster-sphere summary.
+    """
+
+    key: np.ndarray
+    radius: float
+    value: object
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "key", check_vector(self.key, "key"))
+        check_positive(self.radius, "radius", strict=False)
+
+    def intersects(self, center: np.ndarray, radius: float) -> bool:
+        """True when this entry's sphere intersects ``(center, radius)``.
+
+        Similarity is Euclidean in the key space: the torus is overlay
+        topology only, not data geometry.
+        """
+        dist = float(np.linalg.norm(self.key - np.asarray(center, dtype=np.float64)))
+        return dist <= self.radius + radius + 1e-12
+
+
+@dataclass
+class InsertReceipt:
+    """Accounting for one insertion.
+
+    Attributes
+    ----------
+    owner:
+        Node that owns the key point.
+    routing_hops:
+        Hops taken by greedy routing to the owner.
+    replicas:
+        Number of additional nodes the entry was replicated to because its
+        sphere overlaps their zones (paper Figure 6); each replica costs
+        one hop.
+    """
+
+    owner: int
+    routing_hops: int
+    replicas: int = 0
+
+    @property
+    def total_hops(self) -> int:
+        """Routing hops plus one hop per replica."""
+        return self.routing_hops + self.replicas
+
+
+@dataclass
+class RangeReceipt:
+    """Accounting and results for one range query."""
+
+    entries: list = field(default_factory=list)
+    routing_hops: int = 0
+    flood_hops: int = 0
+    nodes_visited: list = field(default_factory=list)
+
+    @property
+    def total_hops(self) -> int:
+        """Routing plus flooding hops."""
+        return self.routing_hops + self.flood_hops
+
+
+class Overlay(abc.ABC):
+    """Minimal overlay contract Hyper-M builds on."""
+
+    @property
+    @abc.abstractmethod
+    def dimensionality(self) -> int:
+        """Dimensionality of the overlay's key space."""
+
+    @property
+    @abc.abstractmethod
+    def node_ids(self) -> list[int]:
+        """Identifiers of all member nodes."""
+
+    @abc.abstractmethod
+    def insert(
+        self, origin: int, key: np.ndarray, value: object, *, radius: float = 0.0
+    ) -> InsertReceipt:
+        """Publish an entry from node ``origin``; returns hop accounting."""
+
+    @abc.abstractmethod
+    def range_query(
+        self, origin: int, center: np.ndarray, radius: float
+    ) -> RangeReceipt:
+        """Find all entries whose spheres intersect the query sphere."""
+
+    @abc.abstractmethod
+    def lookup(self, origin: int, key: np.ndarray) -> RangeReceipt:
+        """Point query: entries stored at the owner of ``key`` that contain it."""

@@ -1,0 +1,13 @@
+"""CAN overlay: zones, greedy routing, sphere replication.
+
+The Content-Addressable Network [Ratnasamy et al., SIGCOMM 2001] partitions
+a ``[0,1]^m`` torus into zones, one per node. New nodes join by splitting
+the zone owning a random point; routing greedily forwards to the neighbour
+whose zone is closest (torus metric) to the target.
+"""
+
+from repro.overlay.can.network import CANNetwork
+from repro.overlay.can.node import CANNode
+from repro.overlay.can.zone import Zone
+
+__all__ = ["CANNetwork", "CANNode", "Zone"]

@@ -1,0 +1,432 @@
+"""The CAN overlay network: joins, departures, inserts, lookups, queries."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import EmptyNetworkError, OverlayError, ValidationError
+from repro.net.messages import MessageKind, vector_message_size
+from repro.net.network import Network
+from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
+from repro.overlay.can.node import CANNode
+from repro.overlay.can.routing import route_to_owner
+from repro.overlay.can.zone import Zone
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_unit_cube, check_vector
+
+
+class CANNetwork(Overlay):
+    """A CAN overlay over the simulated MANET fabric.
+
+    Parameters
+    ----------
+    dimensionality:
+        Dimensionality ``m`` of the key space (the unit cube/torus).
+    fabric:
+        Shared :class:`repro.net.network.Network` for hop/energy accounting.
+        Multiple overlays (Hyper-M runs one per wavelet level) can share one
+        fabric so totals aggregate naturally.
+    rng:
+        Seed or generator driving random join points.
+    node_id_offset:
+        First node id to allocate — lets several overlays share a fabric
+        without id collisions.
+
+    Examples
+    --------
+    >>> can = CANNetwork(2, rng=0)
+    >>> ids = can.grow(8)
+    >>> receipt = can.insert(ids[0], [0.2, 0.7], "item")
+    >>> can.lookup(ids[3], [0.2, 0.7]).entries[0].value
+    'item'
+    """
+
+    def __init__(
+        self,
+        dimensionality: int,
+        *,
+        fabric: Network | None = None,
+        rng=None,
+        node_id_offset: int = 0,
+    ):
+        if dimensionality < 1:
+            raise ValidationError(
+                f"dimensionality must be >= 1, got {dimensionality}"
+            )
+        self._dim = int(dimensionality)
+        self.fabric = fabric if fabric is not None else Network()
+        self._rng = ensure_rng(rng)
+        self._nodes: dict[int, CANNode] = {}
+        self._next_id = int(node_id_offset)
+
+    # -- Overlay interface ----------------------------------------------------
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of the key space."""
+        return self._dim
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Ids of all member nodes."""
+        return list(self._nodes)
+
+    def node(self, node_id: int) -> CANNode:
+        """Look up a member node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ValidationError(f"unknown CAN node {node_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- membership -----------------------------------------------------------
+
+    def grow(self, n_nodes: int) -> list[int]:
+        """Add ``n_nodes`` nodes (bootstrapping if empty); returns their ids."""
+        if n_nodes < 1:
+            raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+        return [self.join() for _ in range(n_nodes)]
+
+    def join(self, point: np.ndarray | None = None) -> int:
+        """Add one node owning the zone containing ``point`` (random default).
+
+        The first node bootstraps the overlay and owns the whole cube.
+        Later joins route to the owner of ``point`` (charged as JOIN
+        traffic); a single-zone owner splits its zone along the longest
+        side and gives away the half containing ``point``, while a
+        multi-zone owner (after a pinwheel departure) hands over the whole
+        zone containing ``point`` — the protocol's self-defragmentation.
+        """
+        node_id = self._next_id
+        self._next_id += 1
+        if not self._nodes:
+            node = CANNode(node_id, Zone.full(self._dim))
+            self._nodes[node_id] = node
+            self.fabric.register(node)
+            return node_id
+
+        if point is None:
+            point = self._rng.random(self._dim)
+        point = check_unit_cube(
+            check_vector(point, "point", dim=self._dim), "point"
+        )
+        entry_id = int(self._rng.choice(list(self._nodes)))
+        owner_id, path = route_to_owner(self, entry_id, point)
+        size = vector_message_size(self._dim)
+        prev = entry_id
+        for hop_id in path:
+            self.fabric.transmit(prev, hop_id, MessageKind.JOIN, size)
+            prev = hop_id
+        self.fabric.finish_operation(MessageKind.JOIN, len(path))
+
+        owner = self.node(owner_id)
+        if len(owner.zones) > 1:
+            # Defragmentation: the newcomer adopts a whole zone.
+            taken = next(z for z in owner.zones if z.contains(point))
+            remaining = [z for z in owner.zones if z is not taken]
+            new_node = CANNode(node_id, taken)
+            owner.set_zones(remaining)
+        else:
+            lower, upper = owner.zone.split()
+            if upper.contains(point):
+                new_zone, owner_zone = upper, lower
+            else:
+                new_zone, owner_zone = lower, upper
+            new_node = CANNode(node_id, new_zone)
+            owner.set_zone(owner_zone)
+        self._nodes[node_id] = new_node
+        self.fabric.register(new_node)
+        self._handoff_state(owner, new_node)
+        return node_id
+
+    def _handoff_state(self, owner: CANNode, new_node: CANNode) -> None:
+        """Redistribute entries and rebuild neighbour links after a join."""
+        kept: list[StoredEntry] = []
+        for entry in owner.store:
+            in_owner = owner.intersects_sphere(entry.key, entry.radius)
+            in_new = new_node.intersects_sphere(entry.key, entry.radius)
+            if in_owner:
+                kept.append(entry)
+            if in_new:
+                new_node.add_entry(entry)
+            if not in_owner and not in_new:
+                # Degenerate float-boundary case; keep at the owner so
+                # nothing is silently lost.
+                kept.append(entry)
+        owner.store = kept
+
+        # Any neighbour of the new ownership regions was a neighbour of the
+        # pre-join owner, so candidates are its old neighbours plus the pair.
+        candidates = dict(owner.neighbors)
+        for cand_id in candidates:
+            cand = self.node(cand_id)
+            cand.remove_neighbor(owner.node_id)
+            owner.remove_neighbor(cand_id)
+            for member in (owner, new_node):
+                if member.is_neighbor_of(cand):
+                    member.add_neighbor(cand_id, tuple(cand.zones))
+                    cand.add_neighbor(member.node_id, tuple(member.zones))
+        if owner.is_neighbor_of(new_node):
+            owner.add_neighbor(new_node.node_id, tuple(new_node.zones))
+            new_node.add_neighbor(owner.node_id, tuple(owner.zones))
+        # Refresh the owner's (shrunk) zone snapshot at its neighbours.
+        for neighbor_id in owner.neighbors:
+            self.node(neighbor_id).add_neighbor(
+                owner.node_id, tuple(owner.zones)
+            )
+
+    def leave(self, node_id: int) -> None:
+        """Gracefully remove ``node_id``, handing its zones and entries over.
+
+        Implements CAN's departure protocol:
+
+        1. if a neighbour's zone merges with a leaving zone into a valid
+           box, that neighbour absorbs it directly;
+        2. otherwise the smallest mergeable *sibling pair* elsewhere in the
+           partition collapses — one sibling's owner hands its zone to the
+           other — and the freed node adopts the leaving node's zone;
+        3. if no mergeable pair exists anywhere (a pinwheel partition), the
+           smallest-volume neighbour takes the zone over *temporarily*,
+           owning multiple zones until a future join defragments it — the
+           behaviour the original CAN paper specifies.
+
+        Neighbour tables are rebuilt afterwards.
+        """
+        leaving = self.node(node_id)
+        del self._nodes[node_id]
+        if not self._nodes:
+            return  # last node took the whole key space with it
+
+        for zone in leaving.zones:
+            self._reassign_zone(zone, leaving)
+        self._rebuild_all_neighbors()
+
+    def _reassign_zone(self, zone: Zone, leaving: CANNode) -> None:
+        """Give one departing zone (and relevant entries) a new owner."""
+        entries = [
+            e for e in leaving.store if zone.intersects_sphere(e.key, e.radius)
+        ]
+        neighbors = [
+            self._nodes[nid] for nid in leaving.neighbors if nid in self._nodes
+        ]
+        if not neighbors:  # isolated remainder: nearest node adopts it
+            neighbors = list(self._nodes.values())
+
+        # 1. direct merge with a single-zone neighbour.
+        for neighbor in neighbors:
+            if len(neighbor.zones) != 1:
+                continue
+            merged = zone.merge_with(neighbor.zones[0])
+            if merged is not None:
+                neighbor.set_zone(merged)
+                self._absorb_entries(neighbor, entries)
+                return
+        # 2. collapse the smallest mergeable sibling pair elsewhere.
+        pair = self._smallest_mergeable_pair()
+        if pair is not None:
+            keeper_id, mover_id, merged, keeper_zone, __mover_zone = pair
+            keeper = self.node(keeper_id)
+            mover = self.node(mover_id)
+            # The keeper's mergeable zone grows into the merged box; the
+            # mover (single-zone by construction) hands everything to the
+            # keeper and adopts the departing zone.
+            keeper.set_zones(
+                self._replace_zone(keeper.zones, keeper_zone, merged)
+            )
+            self._absorb_entries(keeper, mover.store)
+            mover.store = []
+            mover.set_zone(zone)
+            self._absorb_entries(mover, entries)
+            return
+        # 3. pinwheel fallback: smallest neighbour handles the zone too.
+        takeover = min(neighbors, key=lambda n: n.volume)
+        takeover.set_zones(takeover.zones + [zone])
+        self._absorb_entries(takeover, entries)
+
+    @staticmethod
+    def _replace_zone(zones: list[Zone], old: Zone, new: Zone) -> list[Zone]:
+        return [new if z is old else z for z in zones]
+
+    @staticmethod
+    def _absorb_entries(node: CANNode, entries: list[StoredEntry]) -> None:
+        """Add ``entries`` to ``node`` without duplicating replicas."""
+        held = {id(entry) for entry in node.store}
+        for entry in entries:
+            if id(entry) not in held:
+                node.add_entry(entry)
+                held.add(id(entry))
+
+    def _smallest_mergeable_pair(self):
+        """Find the mergeable zone pair of least merged volume.
+
+        Returns ``(keeper_id, mover_id, merged, keeper_zone, mover_zone)``
+        — the keeper's zone absorbs the mover's — or ``None``. Only
+        single-zone movers are considered so the mover can cleanly adopt
+        the departing zone.
+        """
+        nodes = list(self._nodes.values())
+        best = None
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                for za in a.zones:
+                    for zb in b.zones:
+                        merged = za.merge_with(zb)
+                        if merged is None:
+                            continue
+                        if best is not None and merged.volume >= best[2].volume:
+                            continue
+                        # Prefer moving a single-zone node; keeper keeps
+                        # the merged box in place of its own zone.
+                        if len(b.zones) == 1:
+                            best = (a.node_id, b.node_id, merged, za, zb)
+                        elif len(a.zones) == 1:
+                            best = (b.node_id, a.node_id, merged, zb, za)
+        if best is None:
+            return None
+        return best
+
+    def _rebuild_all_neighbors(self) -> None:
+        """Recompute every neighbour table from zone geometry."""
+        nodes = list(self._nodes.values())
+        for node in nodes:
+            node.neighbors = {}
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if a.is_neighbor_of(b):
+                    a.add_neighbor(b.node_id, tuple(b.zones))
+                    b.add_neighbor(a.node_id, tuple(a.zones))
+
+    # -- data plane -------------------------------------------------------------
+
+    def owner_of(self, point: np.ndarray) -> int:
+        """Id of the node whose zone contains ``point`` (global-view scan)."""
+        point = check_vector(point, "point", dim=self._dim)
+        if not self._nodes:
+            raise EmptyNetworkError("overlay has no nodes")
+        for node in self._nodes.values():
+            if node.contains(point):
+                return node.node_id
+        raise OverlayError(f"no zone contains {point!r}; zones do not tile?")
+
+    def insert(
+        self, origin: int, key: np.ndarray, value: object, *, radius: float = 0.0
+    ) -> InsertReceipt:
+        """Publish an entry from node ``origin``.
+
+        Routes the key to its owner (one INSERT message per hop), stores it
+        there, and — when ``radius > 0`` — replicates to every node whose
+        zone the sphere overlaps (one REPLICATE hop per replica), per the
+        paper's Figure 6 discussion.
+        """
+        key = check_unit_cube(check_vector(key, "key", dim=self._dim), "key")
+        check_positive(radius, "radius", strict=False)
+        entry = StoredEntry(key=key, radius=float(radius), value=value)
+        owner_id, path = route_to_owner(self, origin, key)
+        size = vector_message_size(self._dim, scalars=2)
+        prev = origin
+        for hop_id in path:
+            self.fabric.transmit(prev, hop_id, MessageKind.INSERT, size)
+            prev = hop_id
+        self.node(owner_id).add_entry(entry)
+        replicas: list[int] = []
+        if radius > 0.0:
+            from repro.overlay.can.replication import replicate_sphere
+
+            replicas = replicate_sphere(self, owner_id, entry)
+        receipt = InsertReceipt(
+            owner=owner_id, routing_hops=len(path), replicas=len(replicas)
+        )
+        self.fabric.finish_operation(MessageKind.INSERT, receipt.total_hops)
+        return receipt
+
+    def lookup(self, origin: int, key: np.ndarray) -> RangeReceipt:
+        """Point query: entries at the owner of ``key`` whose spheres contain it."""
+        key = check_vector(key, "key", dim=self._dim)
+        owner_id, path = route_to_owner(self, origin, key)
+        size = vector_message_size(self._dim)
+        prev = origin
+        for hop_id in path:
+            self.fabric.transmit(prev, hop_id, MessageKind.LOOKUP, size)
+            prev = hop_id
+        entries = self.node(owner_id).entries_intersecting(key, 0.0)
+        self.fabric.finish_operation(MessageKind.LOOKUP, len(path))
+        return RangeReceipt(
+            entries=entries, routing_hops=len(path), nodes_visited=[owner_id]
+        )
+
+    def range_query(
+        self, origin: int, center: np.ndarray, radius: float
+    ) -> RangeReceipt:
+        """All entries whose spheres intersect the query ball.
+
+        Routes to the owner of ``center`` then floods breadth-first across
+        every zone the (Euclidean) query ball intersects — that region is
+        convex, hence connected in the neighbour graph, so flooding is
+        complete. Request hops are charged; response traffic is not modelled
+        (results are evaluated by precision/recall, matching the paper).
+        """
+        center = check_vector(center, "center", dim=self._dim)
+        check_positive(radius, "radius", strict=False)
+        owner_id, path = route_to_owner(self, origin, center)
+        size = vector_message_size(self._dim, scalars=1)
+        prev = origin
+        for hop_id in path:
+            self.fabric.transmit(prev, hop_id, MessageKind.RANGE_QUERY, size)
+            prev = hop_id
+
+        seen_entries: dict[int, StoredEntry] = {}
+        visited = {owner_id}
+        order = [owner_id]
+        flood_hops = 0
+        queue = deque([owner_id])
+        while queue:
+            current_id = queue.popleft()
+            current = self.node(current_id)
+            for entry in current.entries_intersecting(center, radius):
+                seen_entries.setdefault(id(entry), entry)
+            for neighbor_id, zones in current.neighbors.items():
+                if neighbor_id in visited:
+                    continue
+                if not any(z.intersects_sphere(center, radius) for z in zones):
+                    continue
+                visited.add(neighbor_id)
+                order.append(neighbor_id)
+                self.fabric.transmit(
+                    current_id, neighbor_id, MessageKind.RANGE_QUERY, size
+                )
+                flood_hops += 1
+                queue.append(neighbor_id)
+        self.fabric.finish_operation(
+            MessageKind.RANGE_QUERY, len(path) + flood_hops
+        )
+        return RangeReceipt(
+            entries=list(seen_entries.values()),
+            routing_hops=len(path),
+            flood_hops=flood_hops,
+            nodes_visited=order,
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    def loads(self) -> dict[int, int]:
+        """Stored-entry count per node (Figure 9's distribution metric)."""
+        return {node_id: node.load for node_id, node in self._nodes.items()}
+
+    def zones(self) -> dict[int, Zone]:
+        """Zone per node (single-zone nodes; see :meth:`all_zones`)."""
+        return {node_id: node.zone for node_id, node in self._nodes.items()}
+
+    def all_zones(self) -> dict[int, tuple[Zone, ...]]:
+        """Full zone set per node (multi-zone aware)."""
+        return {
+            node_id: tuple(node.zones)
+            for node_id, node in self._nodes.items()
+        }
+
+    def total_zone_volume(self) -> float:
+        """Sum of zone volumes — 1.0 exactly when zones tile the cube."""
+        return sum(node.volume for node in self._nodes.values())

@@ -1,0 +1,49 @@
+"""Sphere replication across overlapping zones (paper Figure 6).
+
+CAN indexes points; a cluster *sphere* may overlap several zones, and a
+query landing in an overlapped zone must still find it. The paper accepts
+replication as unavoidable: after routing an entry to its centroid's owner,
+the entry is propagated hop-by-hop to every node whose zone the sphere
+intersects. Each propagation costs one overlay hop, which is exactly the
+replication overhead Figure 8a measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.messages import MessageKind, vector_message_size
+from repro.overlay.base import StoredEntry
+
+
+def replicate_sphere(
+    network, owner_id: int, entry: StoredEntry
+) -> list[int]:
+    """Propagate ``entry`` from its owner to all zone-overlapping nodes.
+
+    Breadth-first over neighbour links, crossing only nodes whose zones
+    intersect the entry's sphere (that region is convex, so it is connected
+    in the neighbour graph). Returns the replica node ids (owner excluded);
+    one ``REPLICATE`` hop is charged per replica.
+    """
+    fabric = network.fabric
+    size = vector_message_size(entry.key.shape[0], scalars=2)
+    visited = {owner_id}
+    replicas: list[int] = []
+    queue = deque([owner_id])
+    while queue:
+        current_id = queue.popleft()
+        current = network.node(current_id)
+        for neighbor_id, zones in current.neighbors.items():
+            if neighbor_id in visited:
+                continue
+            if not any(
+                z.intersects_sphere(entry.key, entry.radius) for z in zones
+            ):
+                continue
+            visited.add(neighbor_id)
+            fabric.transmit(current_id, neighbor_id, MessageKind.REPLICATE, size)
+            network.node(neighbor_id).add_entry(entry)
+            replicas.append(neighbor_id)
+            queue.append(neighbor_id)
+    return replicas

@@ -1,0 +1,27 @@
+"""Shared utilities: argument validation, RNG plumbing, statistics, tables."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import RunningStats, summarize
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    check_unit_cube,
+    check_vector,
+    check_matrix,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "RunningStats",
+    "summarize",
+    "format_table",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+    "check_unit_cube",
+    "check_vector",
+    "check_matrix",
+]

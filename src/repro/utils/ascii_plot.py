@@ -1,0 +1,109 @@
+"""Terminal charts: render experiment series without a plotting stack.
+
+The benchmark harness reports the paper's figures as tables; these helpers
+additionally sketch their *shape* (the thing we actually reproduce) as
+ASCII line/bar charts, used by the CLI's ``--plot`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 100 or abs(value) == int(abs(value)):
+        return f"{value:g}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    *,
+    x_labels: Sequence | None = None,
+    title: str | None = None,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to its y-values; all series must share
+        the x-axis. Each series is drawn with its own marker character.
+    x_labels:
+        Optional x-axis labels (first and last are printed).
+    title:
+        Optional heading.
+    height / width:
+        Plot area size in character cells.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series must contain at least one point")
+
+    values = [v for ys in series.values() for v in ys]
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    markers = "ox+*#@%&"
+    grid = [[" "] * width for __ in range(height)]
+
+    def cell(i: int, value: float) -> tuple[int, int]:
+        col = 0 if n_points == 1 else round(i * (width - 1) / (n_points - 1))
+        row = round((value - lo) / (hi - lo) * (height - 1))
+        return height - 1 - row, col
+
+    for marker, (label, ys) in zip(markers, series.items()):
+        for i, value in enumerate(ys):
+            r, c = cell(i, value)
+            grid[r][c] = marker
+
+    y_ticks = [hi, (hi + lo) / 2, lo]
+    tick_rows = {0: y_ticks[0], height // 2: y_ticks[1], height - 1: y_ticks[2]}
+    label_width = max(len(_format_tick(t)) for t in y_ticks)
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        tick = _format_tick(tick_rows[r]) if r in tick_rows else ""
+        lines.append(f"{tick:>{label_width}} |" + "".join(grid[r]))
+    lines.append(" " * label_width + " +" + "-" * width)
+    if x_labels is not None and len(x_labels) >= 1:
+        first, last = str(x_labels[0]), str(x_labels[-1])
+        pad = max(0, width - len(first) - len(last))
+        lines.append(" " * (label_width + 2) + first + " " * pad + last)
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(markers, series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    title: str | None = None,
+    width: int = 50,
+) -> str:
+    """Render labelled values as horizontal bars."""
+    if not items:
+        raise ValueError("items must be non-empty")
+    peak = max(value for __, value in items)
+    label_width = max(len(str(label)) for label, __ in items)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        filled = 0 if peak <= 0 else round(value / peak * width)
+        bar = "#" * filled
+        lines.append(f"{label:>{label_width}} |{bar} {_format_tick(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+``numpy.random.Generator``. These helpers normalise that choice and derive
+independent child generators for sub-components so experiments are exactly
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def ensure_rng(rng: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    Accepts an existing generator (returned as-is), an integer seed, or
+    ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Uses the NumPy ``spawn`` mechanism so children never overlap streams.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    parent = ensure_rng(rng)
+    return [np.random.default_rng(seed) for seed in parent.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,67 @@
+"""ASCII table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _fmt(value, precision: int) -> str:
+    """Format a cell: floats get fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Sequence of row value sequences; each must match ``headers`` length.
+    title:
+        Optional title line printed above the table.
+    precision:
+        Decimal places used for float cells.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+        body.append([_fmt(cell, precision) for cell in row])
+
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(sep)
+    parts.append(line(header_cells))
+    parts.append(sep)
+    parts.extend(line(row) for row in body)
+    parts.append(sep)
+    return "\n".join(parts)

@@ -1,0 +1,60 @@
+"""Discrete Wavelet Transform engine.
+
+Two implementations are provided:
+
+* :mod:`repro.wavelets.haar` — the pairwise-*averaging* Haar convention used
+  by the paper's proofs (``A_k = (x_{2k} + x_{2k+1}) / 2``). This is what
+  Hyper-M publishes into the overlays, because its coefficient ranges are
+  fixed and known a-priori (needed to map keys into the CAN unit cube).
+* :mod:`repro.wavelets.transform` — a general orthonormal filter-bank DWT
+  (Haar/db2/db3/db4) with perfect reconstruction, for users who want other
+  wavelet families.
+
+:mod:`repro.wavelets.multiresolution` assembles the paper's
+``{A, D_0, …, D_L}`` subspace view, and :mod:`repro.wavelets.bounds`
+implements the Theorem 3.1 radius scaling and coefficient-range bounds.
+"""
+
+from repro.wavelets.bounds import (
+    coefficient_interval,
+    from_unit_cube,
+    radius_scale,
+    theorem41_inflation,
+    to_unit_cube,
+)
+from repro.wavelets.haar import (
+    haar_decompose,
+    haar_reconstruct,
+    haar_step,
+    inverse_haar_step,
+)
+from repro.wavelets.multiresolution import (
+    Level,
+    WaveletDecomposition,
+    decompose,
+    decompose_dataset,
+    levels_for,
+    publication_levels,
+)
+from repro.wavelets.transform import Wavelet, wavedec, waverec
+
+__all__ = [
+    "haar_step",
+    "inverse_haar_step",
+    "haar_decompose",
+    "haar_reconstruct",
+    "Level",
+    "WaveletDecomposition",
+    "decompose",
+    "decompose_dataset",
+    "levels_for",
+    "publication_levels",
+    "radius_scale",
+    "coefficient_interval",
+    "to_unit_cube",
+    "from_unit_cube",
+    "theorem41_inflation",
+    "Wavelet",
+    "wavedec",
+    "waverec",
+]

@@ -1,0 +1,90 @@
+"""Theorem 3.1 radius scaling and coefficient-range bounds.
+
+Theorem 3.1 (paper, Section 3.1): all points inside a sphere of radius ``r``
+in the original ``d``-dimensional space map inside a sphere of radius
+``r / sqrt(2^(log2 d - l))`` in the level-``l`` approximation or detail
+space. Under the averaging-Haar convention this is exact: each transform
+step is an orthogonal projection composed with a ``1/sqrt(2)`` scaling, and
+the subspace at level ``l`` is reached after ``log2(d) - l`` steps (the
+approximation ``A`` and the coarsest detail ``D_0`` are both reached after
+all ``log2(d)`` steps).
+
+Theorem 4.1: a point within the per-level thresholds in *every* subspace is
+within ``R * sqrt(log2(d) + 1)`` of the query in the original space, i.e.
+per-level filtering yields no false dismissals and bounded false positives.
+
+This module also pins the coefficient ranges of data from the unit cube —
+approximation coefficients stay in ``[0, 1]``, detail coefficients in
+``[-1/2, 1/2]`` — and provides the affine maps between a subspace and the
+CAN key space ``[0, 1]^m``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_power_of_two
+from repro.wavelets.multiresolution import Level
+
+
+def radius_scale(dimensionality: int, level: Level) -> float:
+    """Theorem 3.1 contraction factor for ``level`` of ``d``-dim data.
+
+    A sphere of radius ``r`` in the original space maps inside a sphere of
+    radius ``r * radius_scale(d, level)`` in the given subspace.
+    """
+    d = check_power_of_two(dimensionality, "dimensionality")
+    j = int(math.log2(d))
+    steps = j if level.kind == "A" else j - level.index
+    if steps < 0:
+        raise ValueError(
+            f"level {level} does not exist for dimensionality {d}"
+        )
+    return 2.0 ** (-steps / 2.0)
+
+
+def theorem41_inflation(dimensionality: int) -> float:
+    """Theorem 4.1 factor: per-level survivors lie within ``R * this`` of ``q``.
+
+    Equals ``sqrt(log2(d) + 1)``: the guaranteed bound, in the original
+    space, on the distance of any point passing all per-level thresholds.
+    """
+    d = check_power_of_two(dimensionality, "dimensionality")
+    return math.sqrt(math.log2(d) + 1.0)
+
+
+def coefficient_interval(level: Level) -> tuple[float, float]:
+    """Closed interval containing every coefficient of unit-cube data.
+
+    Averages of values in ``[0, 1]`` stay in ``[0, 1]``; half-differences
+    stay in ``[-1/2, 1/2]``.
+    """
+    if level.kind == "A":
+        return (0.0, 1.0)
+    return (-0.5, 0.5)
+
+
+def to_unit_cube(coeffs: np.ndarray, level: Level) -> np.ndarray:
+    """Affinely map subspace coefficients into the CAN key space ``[0, 1]^m``.
+
+    The map is fixed per level (it only depends on the coefficient interval),
+    so every peer applies the same map with no coordination — a requirement
+    in a MANET with no global view. Distances scale by a constant
+    ``1 / (hi - lo)`` per level, preserving relative geometry.
+    """
+    lo, hi = coefficient_interval(level)
+    return (np.asarray(coeffs, dtype=np.float64) - lo) / (hi - lo)
+
+
+def from_unit_cube(keys: np.ndarray, level: Level) -> np.ndarray:
+    """Invert :func:`to_unit_cube`."""
+    lo, hi = coefficient_interval(level)
+    return np.asarray(keys, dtype=np.float64) * (hi - lo) + lo
+
+
+def key_space_radius(radius: float, level: Level) -> float:
+    """Scale a subspace radius into the CAN key space of that level."""
+    lo, hi = coefficient_interval(level)
+    return float(radius) / (hi - lo)

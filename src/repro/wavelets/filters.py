@@ -1,0 +1,66 @@
+"""Orthonormal wavelet filter banks (Haar and Daubechies families).
+
+Coefficients are the standard orthonormal Daubechies scaling filters
+(sum = sqrt(2), unit norm). The wavelet (high-pass) filter is derived by
+the quadrature-mirror relation ``g[k] = (-1)^k * h[n-1-k]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT3 = math.sqrt(3.0)
+
+#: Orthonormal scaling (low-pass) filters by family name.
+SCALING_FILTERS: dict[str, tuple[float, ...]] = {
+    "haar": (1.0 / _SQRT2, 1.0 / _SQRT2),
+    "db1": (1.0 / _SQRT2, 1.0 / _SQRT2),
+    "db2": (
+        (1.0 + _SQRT3) / (4.0 * _SQRT2),
+        (3.0 + _SQRT3) / (4.0 * _SQRT2),
+        (3.0 - _SQRT3) / (4.0 * _SQRT2),
+        (1.0 - _SQRT3) / (4.0 * _SQRT2),
+    ),
+    "db3": (
+        0.3326705529500825,
+        0.8068915093110924,
+        0.4598775021184914,
+        -0.13501102001025458,
+        -0.08544127388202666,
+        0.035226291885709536,
+    ),
+    "db4": (
+        0.23037781330889648,
+        0.7148465705529157,
+        0.6308807679298589,
+        -0.027983769416859854,
+        -0.18703481171909309,
+        0.030841381835560764,
+        0.0328830116668852,
+        -0.010597401785069032,
+    ),
+}
+
+
+def scaling_filter(name: str) -> np.ndarray:
+    """Return the orthonormal scaling filter for ``name`` (e.g. ``"db2"``)."""
+    try:
+        return np.asarray(SCALING_FILTERS[name], dtype=np.float64)
+    except KeyError:
+        available = ", ".join(sorted(SCALING_FILTERS))
+        raise ValidationError(
+            f"unknown wavelet {name!r}; available: {available}"
+        ) from None
+
+
+def wavelet_filter(name: str) -> np.ndarray:
+    """Return the quadrature-mirror wavelet (high-pass) filter for ``name``."""
+    h = scaling_filter(name)
+    n = h.shape[0]
+    signs = np.array([(-1.0) ** k for k in range(n)])
+    return signs * h[::-1]

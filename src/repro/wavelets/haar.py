@@ -1,0 +1,110 @@
+"""Pairwise-averaging Haar transform (the paper's convention).
+
+One decomposition step maps a vector ``x`` of even length ``m`` to an
+approximation ``A`` and a detail ``D``, each of length ``m / 2``::
+
+    A_k = (x[2k] + x[2k+1]) / 2
+    D_k = (x[2k] - x[2k+1]) / 2
+
+This is the *averaging* (non-orthonormal) Haar used in Section 3.1 of the
+paper: under it, Euclidean distances contract by exactly ``1/sqrt(2)`` per
+step, which is the content of Theorem 3.1, and coefficients of data in
+``[0, 1]^d`` stay in fixed intervals (``A`` in ``[0, 1]``, ``D`` in
+``[-1/2, 1/2]``) so they can be affinely mapped into the CAN key space with
+no global coordination.
+
+All functions operate on the last axis, so an ``(n, d)`` matrix decomposes
+``n`` vectors at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.utils.validation import check_power_of_two
+
+
+def haar_step(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one averaging-Haar step along the last axis.
+
+    Parameters
+    ----------
+    x:
+        Array whose last axis has even length.
+
+    Returns
+    -------
+    (approximation, detail)
+        Arrays with the last axis halved.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] % 2 != 0:
+        raise DimensionalityError(
+            f"haar_step requires even length, got {x.shape[-1]}"
+        )
+    evens = x[..., 0::2]
+    odds = x[..., 1::2]
+    return (evens + odds) / 2.0, (evens - odds) / 2.0
+
+
+def inverse_haar_step(approx: np.ndarray, detail: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_step`: reconstruct the vector of doubled length."""
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    if approx.shape != detail.shape:
+        raise DimensionalityError(
+            f"approx shape {approx.shape} != detail shape {detail.shape}"
+        )
+    out = np.empty(approx.shape[:-1] + (approx.shape[-1] * 2,), dtype=np.float64)
+    out[..., 0::2] = approx + detail
+    out[..., 1::2] = approx - detail
+    return out
+
+
+def haar_decompose(
+    x: np.ndarray, *, levels: int | None = None
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Fully (or partially) decompose ``x`` with the averaging Haar.
+
+    Parameters
+    ----------
+    x:
+        Array whose last axis is a power-of-two length ``d``.
+    levels:
+        Number of decomposition steps; defaults to ``log2(d)`` (full
+        decomposition down to a length-1 approximation).
+
+    Returns
+    -------
+    (approximation, details)
+        ``approximation`` has last-axis length ``d / 2**levels``.
+        ``details`` is ordered **coarse to fine** to match the paper's
+        ``D_0, D_1, …`` indexing: ``details[i]`` has last-axis length
+        ``d / 2**(levels - i)``. With a full decomposition, ``details[l]``
+        is exactly the paper's ``D_l`` (dimensionality ``2^l``).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    d = check_power_of_two(x.shape[-1], "dimensionality")
+    max_levels = int(np.log2(d))
+    if levels is None:
+        levels = max_levels
+    if not 0 <= levels <= max_levels:
+        raise DimensionalityError(
+            f"levels must be in [0, {max_levels}] for d={d}, got {levels}"
+        )
+    details: list[np.ndarray] = []
+    approx = x
+    for _ in range(levels):
+        approx, detail = haar_step(approx)
+        details.append(detail)
+    details.reverse()
+    return approx, details
+
+
+def haar_reconstruct(approx: np.ndarray, details: list[np.ndarray]) -> np.ndarray:
+    """Invert :func:`haar_decompose` (details ordered coarse to fine)."""
+    x = np.asarray(approx, dtype=np.float64)
+    for detail in details:
+        x = inverse_haar_step(x, np.asarray(detail, dtype=np.float64))
+    return x

@@ -1,0 +1,139 @@
+"""The paper's multiresolution subspace view: ``{A, D_0, D_1, …, D_{J-1}}``.
+
+A ``d = 2^J``-dimensional vector is fully decomposed with the averaging Haar
+into a 1-dimensional approximation ``A`` plus detail subspaces ``D_l`` of
+dimensionality ``2^l`` for ``l = 0 … J-1`` (Figure 1 of the paper; Table 1
+notation). Hyper-M publishes into the ``L`` *coarsest* subspaces —
+``A, D_0, D_1, …, D_{L-2}`` — one overlay per subspace ("Hyper-M used four
+layers of network overlay").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.utils.validation import check_matrix, check_power_of_two, check_vector
+from repro.wavelets.haar import haar_decompose, haar_reconstruct
+
+
+@dataclass(frozen=True, order=True)
+class Level:
+    """Identifies one wavelet subspace.
+
+    Attributes
+    ----------
+    kind:
+        ``"A"`` for the approximation subspace, ``"D"`` for a detail subspace.
+    index:
+        The paper's ``l``: for ``D`` levels, the subspace has dimensionality
+        ``2^l``. The approximation uses index 0 (it is also 1-dimensional and
+        shares the ``D_0`` contraction factor — both are produced after all
+        ``J`` transform steps).
+    """
+
+    # Sort key: approximation first, then details coarse-to-fine.
+    sort_key: int
+    kind: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "A" if self.kind == "A" else f"D{self.index}"
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of this subspace (1 for ``A``, ``2^l`` for ``D_l``)."""
+        return 1 if self.kind == "A" else 2 ** self.index
+
+    @staticmethod
+    def approximation() -> "Level":
+        """The approximation subspace ``A``."""
+        return Level(-1, "A", 0)
+
+    @staticmethod
+    def detail(index: int) -> "Level":
+        """The detail subspace ``D_index`` (dimensionality ``2^index``)."""
+        if index < 0:
+            raise DimensionalityError(f"detail index must be >= 0, got {index}")
+        return Level(index, "D", index)
+
+
+def levels_for(dimensionality: int) -> list[Level]:
+    """All subspaces of a full decomposition of ``dimensionality``-dim data.
+
+    Ordered coarse to fine: ``[A, D_0, D_1, …, D_{J-1}]`` where
+    ``J = log2(dimensionality)``.
+    """
+    d = check_power_of_two(dimensionality, "dimensionality")
+    j = int(np.log2(d))
+    return [Level.approximation()] + [Level.detail(l) for l in range(j)]
+
+
+def publication_levels(dimensionality: int, levels_used: int) -> list[Level]:
+    """The ``levels_used`` coarsest subspaces Hyper-M publishes into.
+
+    ``levels_used = 4`` (the paper's operating point) yields
+    ``[A, D_0, D_1, D_2]`` with dimensionalities ``1, 1, 2, 4``.
+    """
+    all_levels = levels_for(dimensionality)
+    if not 1 <= levels_used <= len(all_levels):
+        raise DimensionalityError(
+            f"levels_used must be in [1, {len(all_levels)}] for "
+            f"d={dimensionality}, got {levels_used}"
+        )
+    return all_levels[:levels_used]
+
+
+@dataclass(frozen=True)
+class WaveletDecomposition:
+    """A vector (or matrix of vectors) viewed in every wavelet subspace.
+
+    Attributes
+    ----------
+    dimensionality:
+        Original dimensionality ``d`` (a power of two).
+    subspaces:
+        Mapping from :class:`Level` to the coefficient array in that
+        subspace. For matrix input the arrays are ``(n, 2^l)``.
+    """
+
+    dimensionality: int
+    subspaces: dict
+
+    def __getitem__(self, level: Level) -> np.ndarray:
+        return self.subspaces[level]
+
+    @property
+    def levels(self) -> list[Level]:
+        """Subspaces present, ordered coarse to fine."""
+        return sorted(self.subspaces)
+
+    def reconstruct(self) -> np.ndarray:
+        """Invert the decomposition back to the original vector(s)."""
+        approx = self.subspaces[Level.approximation()]
+        j = int(np.log2(self.dimensionality))
+        details = [self.subspaces[Level.detail(l)] for l in range(j)]
+        return haar_reconstruct(approx, details)
+
+
+def decompose(x: np.ndarray) -> WaveletDecomposition:
+    """Fully decompose one vector into all its wavelet subspaces."""
+    x = check_vector(x, "x")
+    return _decompose_array(x)
+
+
+def decompose_dataset(x: np.ndarray) -> WaveletDecomposition:
+    """Fully decompose a matrix of row vectors (vectorised, single pass)."""
+    x = check_matrix(x, "x")
+    return _decompose_array(x)
+
+
+def _decompose_array(x: np.ndarray) -> WaveletDecomposition:
+    d = check_power_of_two(x.shape[-1], "dimensionality")
+    approx, details = haar_decompose(x)
+    subspaces = {Level.approximation(): approx}
+    for l, detail in enumerate(details):
+        subspaces[Level.detail(l)] = detail
+    return WaveletDecomposition(dimensionality=d, subspaces=subspaces)

@@ -1,0 +1,49 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for CI speed: property tests exercise dozens of
+# cases each without making the suite minutes long.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_can():
+    """A 2-d CAN with 16 nodes."""
+    from repro.overlay.can import CANNetwork
+
+    can = CANNetwork(2, rng=7)
+    can.grow(16)
+    return can
+
+
+@pytest.fixture
+def tiny_histogram_workload():
+    """A published 8-peer histogram network with ground truth."""
+    from repro.core.network import HyperMConfig
+    from repro.evaluation.workloads import build_histogram_network
+
+    return build_histogram_network(
+        n_peers=8,
+        n_objects=40,
+        views_per_object=8,
+        n_bins=32,
+        config=HyperMConfig(levels_used=3, n_clusters=4),
+        rng=99,
+    )

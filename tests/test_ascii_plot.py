@@ -1,0 +1,60 @@
+"""Tests for terminal charts."""
+
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart(
+            {"a": [1, 2, 3, 4], "b": [4, 3, 2, 1]},
+            x_labels=[10, 20, 30, 40],
+            title="T",
+            height=6,
+            width=20,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+        assert "10" in lines[-2] and "40" in lines[-2]
+
+    def test_extremes_plotted_at_edges(self):
+        out = line_chart({"s": [0.0, 10.0]}, height=5, width=11)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[0]  # max at top
+        assert "o" in rows[-1]  # min at bottom
+
+    def test_constant_series(self):
+        out = line_chart({"s": [5.0, 5.0, 5.0]})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = line_chart({"s": [1.0]})
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart([("hyperm", 1.0), ("can", 4.0)], width=8)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 8
+
+    def test_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "#" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])

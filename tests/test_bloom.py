@@ -1,0 +1,95 @@
+"""Tests for the Bloom-filter baseline (the paper's rejected design)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bloom import BloomFilter, BloomPublisher, quantize_key
+from repro.exceptions import ValidationError
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter(1024, 4)
+        bloom.add(b"hello")
+        assert b"hello" in bloom
+        assert b"other" not in bloom
+
+    def test_no_false_negatives(self, rng):
+        bloom = BloomFilter(8192, 4)
+        keys = [bytes(rng.integers(0, 255, size=16, dtype=np.uint8)) for __ in range(200)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_reasonable(self, rng):
+        bloom = BloomFilter(8192, 4)
+        for __ in range(200):
+            bloom.add(bytes(rng.integers(0, 255, size=16, dtype=np.uint8)))
+        false_positives = sum(
+            bytes(rng.integers(0, 255, size=16, dtype=np.uint8)) in bloom
+            for __ in range(500)
+        )
+        assert false_positives / 500 < 0.1
+
+    def test_size(self):
+        assert BloomFilter(4096, 3).size_bytes == 512
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            BloomFilter(4, 0)
+
+
+class TestQuantizeKey:
+    def test_same_cell_same_key(self):
+        a = quantize_key(np.array([0.11, 0.52]), 8)
+        b = quantize_key(np.array([0.12, 0.53]), 8)
+        assert a == b
+
+    def test_adjacent_cells_differ(self):
+        a = quantize_key(np.array([0.11, 0.52]), 8)
+        b = quantize_key(np.array([0.14, 0.52]), 8)  # crosses 0.125 boundary
+        assert a != b
+
+    def test_boundary_clipped(self):
+        quantize_key(np.array([1.0, 0.0]), 8)  # no crash
+
+
+class TestBloomPublisher:
+    @pytest.fixture
+    def published(self, rng):
+        publisher = BloomPublisher(8, cells_per_dim=4)
+        data = rng.random((60, 8))
+        for peer in range(6):
+            block = slice(peer * 10, (peer + 1) * 10)
+            publisher.publish_peer(peer, data[block], np.arange(60)[block])
+        return publisher, data
+
+    def test_point_query_finds_exact_items(self, published):
+        publisher, data = published
+        for i in (0, 17, 59):
+            assert i in publisher.point_query(data[i])
+
+    def test_candidates_include_holder(self, published):
+        publisher, data = published
+        # Peer 3 holds items 30-39.
+        assert 3 in publisher.candidate_peers(data[33])
+
+    def test_bandwidth_accounting(self, published):
+        publisher, __ = published
+        assert publisher.bytes_published == 6 * publisher.filters[0].size_bytes
+
+    def test_similarity_blindness(self, rng):
+        """The paper's argument: near-but-not-identical items are missed
+        when they fall into other quantisation cells."""
+        publisher = BloomPublisher(8, cells_per_dim=8)
+        base = rng.random((30, 8))
+        publisher.publish_peer(0, base, np.arange(30))
+        # Perturb queries so most cross a cell boundary in some dimension.
+        missed = 0
+        for i in range(30):
+            query = np.clip(base[i] + rng.normal(0, 0.08, 8), 0, 1)
+            true_close = np.linalg.norm(base[i] - query) < 0.5
+            found = publisher.range_query(query, 0.5)
+            if true_close and i not in found:
+                missed += 1
+        assert missed > 5  # structural misses, not noise

@@ -1,0 +1,49 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import _COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_known_commands(self):
+        for name in _COMMANDS:
+            args = build_parser().parse_args([name])
+            assert args.command == name
+            assert args.scale == "quick"
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig8a", "--peers", "7", "--seed", "3", "--scale", "paper"]
+        )
+        assert args.peers == 7
+        assert args.seed == 3
+        assert args.scale == "paper"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in _COMMANDS:
+            assert name in out
+
+    def test_fig11_runs(self, capsys):
+        assert main(["fig11", "--peers", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "original" in out
+
+    def test_fig8a_runs_quick(self, capsys):
+        assert main(["fig8a", "--peers", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8a" in out
+        assert "clusters_per_peer" in out

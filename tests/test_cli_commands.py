@@ -1,0 +1,41 @@
+"""Smoke tests for the remaining CLI commands (tiny scales)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+class TestCliCommands:
+    def test_fig9(self, capsys):
+        assert main(["fig9", "--peers", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "original" in out
+
+    def test_cknob(self, capsys):
+        assert main(["cknob", "--peers", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "C-knob" in out
+
+    def test_fig8c(self, capsys):
+        assert main(["fig8c", "--peers", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8c" in out
+        assert "CAN (full dim)" in out
+
+    def test_construction(self, capsys):
+        assert main(["construction", "--peers", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_fig8b_with_plot(self, capsys):
+        assert main(["fig8b", "--peers", "6", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "hops/item vs total items" in out
+        assert "o=Hyper-M" in out
+
+    def test_fig10c_with_plot(self, capsys):
+        assert main(["fig10c", "--peers", "8", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "recall vs new-document fraction" in out

@@ -1,0 +1,135 @@
+"""Unit and property tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.clustering.kmeans import kmeans
+from repro.exceptions import ClusteringError
+
+
+def blobs(rng, n_per=20, centers=((0, 0), (5, 5), (10, 0)), spread=0.3):
+    """Three well-separated Gaussian blobs."""
+    points = []
+    for cx, cy in centers:
+        points.append(rng.normal((cx, cy), spread, size=(n_per, 2)))
+    return np.vstack(points)
+
+
+class TestKMeansBasics:
+    def test_labels_shape_and_range(self, rng):
+        data = blobs(rng)
+        result = kmeans(data, 3, rng=0)
+        assert result.labels.shape == (60,)
+        assert set(result.labels) <= {0, 1, 2}
+
+    def test_recovers_separated_blobs(self, rng):
+        data = blobs(rng)
+        result = kmeans(data, 3, rng=0, n_init=3)
+        # Each blob's 20 points should share a label.
+        for i in range(3):
+            block = result.labels[i * 20 : (i + 1) * 20]
+            assert len(set(block)) == 1
+        assert result.inertia < 60 * 0.3**2 * 4
+
+    def test_centroids_near_truth(self, rng):
+        data = blobs(rng)
+        result = kmeans(data, 3, rng=0, n_init=3)
+        truth = np.array([[0, 0], [5, 5], [10, 0]], dtype=float)
+        for t in truth:
+            assert min(np.linalg.norm(result.centroids - t, axis=1)) < 0.5
+
+    def test_k_equals_n(self, rng):
+        data = rng.random((5, 3))
+        result = kmeans(data, 5, rng=0)
+        assert result.inertia < 1e-12
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_k_one(self, rng):
+        data = rng.random((20, 4))
+        result = kmeans(data, 1, rng=0)
+        assert np.allclose(result.centroids[0], data.mean(axis=0))
+
+    def test_reproducible_with_seed(self, rng):
+        data = rng.random((30, 4))
+        a = kmeans(data, 4, rng=42)
+        b = kmeans(data, 4, rng=42)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_cluster_sizes_sum_to_n(self, rng):
+        data = rng.random((25, 3))
+        result = kmeans(data, 4, rng=1)
+        assert result.cluster_sizes().sum() == 25
+
+
+class TestKMeansValidation:
+    def test_k_zero_rejected(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(rng.random((5, 2)), 0)
+
+    def test_k_exceeds_n_rejected(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(rng.random((3, 2)), 4)
+
+    def test_bad_n_init_rejected(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(rng.random((5, 2)), 2, n_init=0)
+
+
+class TestKMeansProperties:
+    @given(
+        data=arrays(
+            np.float64,
+            st.tuples(st.integers(5, 30), st.integers(1, 6)),
+            elements=st.floats(min_value=0.0, max_value=1.0, width=64),
+        ),
+        k=st.integers(1, 5),
+    )
+    def test_invariants(self, data, k):
+        k = min(k, data.shape[0])
+        result = kmeans(data, k, rng=0)
+        # Every label valid, inertia non-negative and consistent.
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+        assigned = result.centroids[result.labels]
+        inertia = float(((data - assigned) ** 2).sum())
+        assert np.isclose(result.inertia, inertia, rtol=1e-9, atol=1e-9)
+
+    @given(
+        data=arrays(
+            np.float64,
+            st.tuples(st.integers(6, 20), st.integers(1, 4)),
+            elements=st.floats(min_value=0.0, max_value=1.0, width=64),
+        )
+    )
+    def test_each_point_assigned_to_nearest_centroid(self, data):
+        result = kmeans(data, 3, rng=0)
+        d2 = ((data[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+        best = d2.min(axis=1)
+        chosen = d2[np.arange(data.shape[0]), result.labels]
+        assert np.allclose(chosen, best, atol=1e-12)
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((10, 3))
+        result = kmeans(data, 3, rng=0)
+        assert result.inertia == 0.0
+
+    def test_translation_invariance(self, rng):
+        """The paper picks k-means for its invariance to translations."""
+        data = rng.random((40, 3))
+        base = kmeans(data, 4, rng=5)
+        shifted = kmeans(data + 100.0, 4, rng=5)
+        assert np.array_equal(base.labels, shifted.labels)
+        assert np.allclose(base.centroids + 100.0, shifted.centroids)
+
+    def test_more_clusters_never_worse(self, rng):
+        data = rng.random((50, 4))
+        inertia = [
+            kmeans(data, k, rng=3, n_init=5).inertia for k in (1, 2, 4, 8)
+        ]
+        # With multiple restarts, inertia should be non-increasing in k.
+        for a, b in zip(inertia, inertia[1:]):
+            assert b <= a * 1.05  # small slack: restarts are heuristic

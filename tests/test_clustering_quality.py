@@ -1,0 +1,71 @@
+"""Tests for cohesion/separation quality metrics (Figure 11 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.quality import cluster_quality, cohesion, separation
+from repro.exceptions import ClusteringError
+
+
+class TestCohesion:
+    def test_zero_for_points_on_centroids(self):
+        data = np.array([[0.0, 0.0], [10.0, 10.0]])
+        result = kmeans(data, 2, rng=0)
+        assert cohesion(data, result) == 0.0
+
+    def test_positive_for_spread(self, rng):
+        data = rng.normal(size=(40, 3))
+        result = kmeans(data, 2, rng=0)
+        assert cohesion(data, result) > 0
+
+    def test_shape_mismatch(self, rng):
+        data = rng.random((10, 2))
+        result = kmeans(data, 2, rng=0)
+        with pytest.raises(ClusteringError):
+            cohesion(rng.random((5, 2)), result)
+
+
+class TestSeparation:
+    def test_single_cluster_zero(self, rng):
+        result = kmeans(rng.random((10, 2)), 1, rng=0)
+        assert separation(result) == 0.0
+
+    def test_two_clusters_known_distance(self):
+        data = np.vstack([np.zeros((5, 2)), np.full((5, 2), 3.0)])
+        result = kmeans(data, 2, rng=0)
+        assert np.isclose(separation(result), 3.0 * np.sqrt(2))
+
+
+class TestClusterQuality:
+    def test_tight_separated_is_small(self, rng):
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.01, size=(20, 2)),
+                rng.normal(10.0, 0.01, size=(20, 2)),
+            ]
+        )
+        result = kmeans(data, 2, rng=0, n_init=3)
+        assert cluster_quality(data, result) < 0.01
+
+    def test_overlapping_is_larger(self, rng):
+        tight = np.vstack(
+            [
+                rng.normal(0.0, 0.01, size=(20, 2)),
+                rng.normal(10.0, 0.01, size=(20, 2)),
+            ]
+        )
+        loose = rng.normal(0.0, 1.0, size=(40, 2))
+        q_tight = cluster_quality(tight, kmeans(tight, 2, rng=0, n_init=3))
+        q_loose = cluster_quality(loose, kmeans(loose, 2, rng=0, n_init=3))
+        assert q_tight < q_loose
+
+    def test_degenerate_all_same_point(self):
+        data = np.ones((10, 2))
+        result = kmeans(data, 2, rng=0)
+        assert cluster_quality(data, result) == 0.0
+
+    def test_single_cluster_spread_is_inf(self, rng):
+        data = rng.random((10, 2))
+        result = kmeans(data, 1, rng=0)
+        assert cluster_quality(data, result) == float("inf")

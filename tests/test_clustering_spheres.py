@@ -1,0 +1,86 @@
+"""Tests for cluster-sphere summaries."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.spheres import ClusterSphere, spheres_from_clustering
+from repro.exceptions import ValidationError
+
+
+class TestClusterSphere:
+    def test_construction(self):
+        s = ClusterSphere(np.array([0.5, 0.5]), 0.1, 10)
+        assert s.dimensionality == 2
+        assert s.items == 10
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterSphere(np.zeros(2), -0.1, 1)
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterSphere(np.zeros(2), 0.1, 0)
+
+    def test_contains(self):
+        s = ClusterSphere(np.zeros(2), 1.0, 1)
+        assert s.contains(np.array([0.5, 0.5]))
+        assert s.contains(np.array([1.0, 0.0]))  # boundary
+        assert not s.contains(np.array([1.0, 1.0]))
+
+    def test_intersects_sphere(self):
+        s = ClusterSphere(np.zeros(2), 1.0, 1)
+        assert s.intersects_sphere(np.array([1.5, 0.0]), 0.6)
+        assert s.intersects_sphere(np.array([2.0, 0.0]), 1.0)  # tangent
+        assert not s.intersects_sphere(np.array([3.0, 0.0]), 0.5)
+
+    def test_scaled(self):
+        s = ClusterSphere(np.array([1.0, 0.0]), 0.5, 3).scaled(2.0)
+        assert np.allclose(s.centroid, [2.0, 0.0])
+        assert s.radius == 1.0
+        assert s.items == 3
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValidationError):
+            ClusterSphere(np.zeros(1), 0.5, 1).scaled(0.0)
+
+    def test_translated(self):
+        s = ClusterSphere(np.zeros(2), 0.5, 1).translated(np.array([1.0, 2.0]))
+        assert np.allclose(s.centroid, [1.0, 2.0])
+
+
+class TestSpheresFromClustering:
+    def test_every_point_inside_its_sphere(self, rng):
+        data = rng.random((50, 4))
+        result = kmeans(data, 5, rng=0)
+        spheres = spheres_from_clustering(data, result)
+        for c, sphere in enumerate(spheres):
+            # Sphere order matches non-empty cluster order.
+            pass
+        # Reconstruct mapping: check all points are covered by some sphere
+        # whose centroid matches their assigned cluster.
+        by_centroid = {tuple(np.round(s.centroid, 9)): s for s in spheres}
+        for i, point in enumerate(data):
+            centroid = result.centroids[result.labels[i]]
+            sphere = by_centroid[tuple(np.round(centroid, 9))]
+            assert sphere.contains(point)
+
+    def test_counts_sum_to_n(self, rng):
+        data = rng.random((30, 3))
+        result = kmeans(data, 4, rng=1)
+        spheres = spheres_from_clustering(data, result)
+        assert sum(s.items for s in spheres) == 30
+
+    def test_singleton_cluster_zero_radius(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = kmeans(data, 2, rng=0)
+        spheres = spheres_from_clustering(data, result)
+        assert all(s.radius == 0.0 for s in spheres)
+        assert all(s.items == 1 for s in spheres)
+
+    def test_empty_clusters_dropped(self):
+        data = np.ones((5, 2))  # all identical: k-means leaves clusters empty
+        result = kmeans(data, 3, rng=0)
+        spheres = spheres_from_clustering(data, result)
+        assert sum(s.items for s in spheres) == 5
+        assert all(s.items >= 1 for s in spheres)

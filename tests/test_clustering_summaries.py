@@ -1,0 +1,81 @@
+"""Tests for per-peer multiresolution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.summaries import summarize_peer_data
+from repro.exceptions import ClusteringError
+from repro.wavelets.multiresolution import Level
+
+
+class TestSummarizePeerData:
+    def test_level_structure(self, rng):
+        data = rng.random((40, 16))
+        summary = summarize_peer_data(data, n_clusters=4, levels_used=3, rng=0)
+        assert [str(l) for l in summary.levels] == ["A", "D0", "D1"]
+        assert summary.dimensionality == 16
+
+    def test_spheres_per_level_at_most_k(self, rng):
+        data = rng.random((40, 16))
+        summary = summarize_peer_data(data, n_clusters=4, levels_used=3, rng=0)
+        for level in summary.levels:
+            assert 1 <= len(summary.spheres[level]) <= 4
+
+    def test_item_counts_per_level(self, rng):
+        data = rng.random((25, 8))
+        summary = summarize_peer_data(data, n_clusters=5, levels_used=2, rng=0)
+        for level in summary.levels:
+            assert summary.items_summarised(level) == 25
+
+    def test_sphere_dimensionality_matches_level(self, rng):
+        data = rng.random((20, 16))
+        summary = summarize_peer_data(data, n_clusters=3, levels_used=4, rng=0)
+        for level in summary.levels:
+            for sphere in summary.spheres[level]:
+                assert sphere.dimensionality == level.dimensionality
+
+    def test_labels_cover_all_items(self, rng):
+        data = rng.random((30, 8))
+        summary = summarize_peer_data(data, n_clusters=4, levels_used=2, rng=0)
+        for level in summary.levels:
+            assert summary.labels[level].shape == (30,)
+
+    def test_fewer_items_than_clusters(self, rng):
+        data = rng.random((3, 8))
+        summary = summarize_peer_data(data, n_clusters=10, levels_used=2, rng=0)
+        for level in summary.levels:
+            assert len(summary.spheres[level]) <= 3
+
+    def test_deterministic_with_seed(self, rng):
+        data = rng.random((20, 8))
+        a = summarize_peer_data(data, n_clusters=3, levels_used=2, rng=11)
+        b = summarize_peer_data(data, n_clusters=3, levels_used=2, rng=11)
+        for level in a.levels:
+            assert np.array_equal(a.labels[level], b.labels[level])
+
+    def test_invalid_clusters(self, rng):
+        with pytest.raises(ClusteringError):
+            summarize_peer_data(rng.random((5, 8)), n_clusters=0, levels_used=2)
+
+    def test_total_spheres(self, rng):
+        data = rng.random((50, 16))
+        summary = summarize_peer_data(data, n_clusters=5, levels_used=4, rng=0)
+        assert summary.total_spheres == sum(
+            len(summary.spheres[l]) for l in summary.levels
+        )
+
+    def test_every_item_inside_its_sphere_every_level(self, rng):
+        """The premise behind the no-false-dismissal guarantee."""
+        from repro.wavelets.multiresolution import decompose_dataset
+
+        data = rng.random((30, 16))
+        summary = summarize_peer_data(data, n_clusters=4, levels_used=4, rng=0)
+        decomposition = decompose_dataset(data)
+        for level in summary.levels:
+            coeffs = decomposition[level]
+            labels = summary.labels[level]
+            spheres = summary.spheres[level]
+            # Map sphere centroid -> sphere for coverage checking.
+            for i in range(30):
+                covered = any(s.contains(coeffs[i]) for s in spheres)
+                assert covered, f"item {i} uncovered at level {level}"

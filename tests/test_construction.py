@@ -1,0 +1,100 @@
+"""Tests for the parallel construction-time simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import HyperMConfig
+from repro.evaluation.construction import (
+    ConstructionTimeline,
+    RadioModel,
+    _simulate_schedules,
+    hyperm_construction,
+    naive_can_construction,
+    run_construction_comparison,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRadioModel:
+    def test_hop_time(self):
+        radio = RadioModel(bandwidth=1000.0, per_hop_latency=0.1)
+        assert radio.hop_time(500) == pytest.approx(0.6)
+
+    def test_zero_bytes(self):
+        radio = RadioModel(per_hop_latency=0.01)
+        assert radio.hop_time(0) == 0.01
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            RadioModel(bandwidth=0)
+
+
+class TestScheduleSimulation:
+    def test_parallel_is_slowest_peer(self):
+        costs = {0: [1.0, 1.0], 1: [5.0], 2: [0.5, 0.5, 0.5]}
+        per_peer, parallel, shared = _simulate_schedules(costs)
+        assert parallel == pytest.approx(5.0)
+        assert per_peer[0] == pytest.approx(2.0)
+        assert per_peer[2] == pytest.approx(1.5)
+
+    def test_shared_channel_is_total_airtime(self):
+        costs = {0: [1.0, 1.0], 1: [5.0], 2: [0.5, 0.5, 0.5]}
+        __, __p, shared = _simulate_schedules(costs)
+        assert shared == pytest.approx(8.5)
+
+    def test_empty(self):
+        per_peer, parallel, shared = _simulate_schedules({})
+        assert parallel == 0.0
+        assert shared == 0.0
+
+    def test_parallel_never_exceeds_shared(self):
+        rng = np.random.default_rng(0)
+        costs = {
+            p: rng.uniform(0.1, 1.0, size=rng.integers(1, 6)).tolist()
+            for p in range(5)
+        }
+        __, parallel, shared = _simulate_schedules(costs)
+        assert parallel <= shared + 1e-12
+
+
+class TestConstructionRuns:
+    def test_hyperm_timeline(self):
+        timeline = hyperm_construction(
+            n_peers=6, items_per_peer=50, dimensionality=16,
+            config=HyperMConfig(levels_used=2, n_clusters=3), rng=0,
+        )
+        assert timeline.items == 300
+        assert timeline.parallel_makespan > 0
+        assert timeline.parallel_makespan <= timeline.shared_channel_makespan
+        assert len(timeline.per_peer_seconds) == 6
+
+    def test_can_timeline_extrapolates(self):
+        timeline = naive_can_construction(
+            n_peers=6, items_per_peer=50, dimensionality=16,
+            sample_per_peer=10, rng=1,
+        )
+        assert timeline.items == 300
+        # Every item carries at least its own airtime on its peer.
+        assert timeline.shared_channel_makespan > 0
+
+    def test_comparison_speedups(self):
+        comparison = run_construction_comparison(
+            n_peers=8, items_per_peer=150, dimensionality=32,
+            config=HyperMConfig(levels_used=3, n_clusters=5), rng=2,
+        )
+        # At 150 items per peer vs 15 spheres, Hyper-M must win on both
+        # schedules (the paper's headline claim).
+        assert comparison.parallel_speedup > 1.0
+        assert comparison.shared_channel_speedup > 1.0
+        # Bandwidth effect: bytes per item are far lower for Hyper-M.
+        assert (
+            comparison.hyperm.bytes_per_item
+            < 0.3 * comparison.can.bytes_per_item
+        )
+
+    def test_timeline_properties(self):
+        timeline = ConstructionTimeline(
+            method="x", items=10, total_hops=20, total_bytes=400
+        )
+        assert timeline.hops_per_item == 2.0
+        assert timeline.bytes_per_item == 40.0

@@ -1,0 +1,108 @@
+"""Tests for the baseline publishers and the centralized ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    CentralizedIndex,
+    NaiveCANPublisher,
+    TwoDimCANPublisher,
+)
+from repro.exceptions import ValidationError
+
+
+class TestNaiveCAN:
+    def test_publish_and_exact_range(self, rng):
+        publisher = NaiveCANPublisher(8, rng=0)
+        for peer_id in range(5):
+            publisher.add_peer(peer_id)
+        data = rng.random((40, 8))
+        ids = np.arange(40)
+        for peer_id in range(5):
+            block = slice(peer_id * 8, (peer_id + 1) * 8)
+            publisher.publish_items(peer_id, data[block], ids[block])
+        query = rng.random(8)
+        got, hops = publisher.range_query(0, query, 0.6)
+        want = {
+            int(i)
+            for i, row in enumerate(data)
+            if np.linalg.norm(row - query) <= 0.6
+        }
+        assert got == want
+        assert hops >= 0
+
+    def test_hops_counted(self, rng):
+        publisher = NaiveCANPublisher(4, rng=0)
+        for peer_id in range(6):
+            publisher.add_peer(peer_id)
+        n, hops = publisher.publish_items(
+            0, rng.random((20, 4)), np.arange(20)
+        )
+        assert n == 20
+        assert hops > 0
+
+
+class TestTwoDimCAN:
+    def test_key_truncation_superset(self, rng):
+        """2-d CAN range results are a superset on the first two coords."""
+        publisher = TwoDimCANPublisher(8, rng=0)
+        for peer_id in range(4):
+            publisher.add_peer(peer_id)
+        data = rng.random((30, 8))
+        publisher.publish_items(0, data, np.arange(30))
+        query = rng.random(8)
+        got, __ = publisher.range_query(0, query, 0.3)
+        true_2d = {
+            int(i)
+            for i, row in enumerate(data)
+            if np.linalg.norm(row[:2] - query[:2]) <= 0.3
+        }
+        assert got == true_2d
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            TwoDimCANPublisher(1)
+
+
+class TestCentralizedIndex:
+    def test_range_search_exact(self, rng):
+        data = rng.random((50, 4))
+        index = CentralizedIndex(data, np.arange(50))
+        query = rng.random(4)
+        got = index.range_search(query, 0.5)
+        want = {
+            int(i)
+            for i, row in enumerate(data)
+            if np.linalg.norm(row - query) <= 0.5
+        }
+        assert got == want
+
+    def test_knn_exact(self, rng):
+        data = rng.random((50, 4))
+        index = CentralizedIndex(data, np.arange(50))
+        query = rng.random(4)
+        got = index.knn(query, 5)
+        dists = np.linalg.norm(data - query, axis=1)
+        want = set(np.argsort(dists)[:5].tolist())
+        assert got == want
+
+    def test_knn_items_carry_owner(self, rng):
+        data = rng.random((10, 4))
+        owners = np.arange(10) % 3
+        index = CentralizedIndex(data, np.arange(10), owners)
+        items = index.knn_items(rng.random(4), 3)
+        assert len(items) == 3
+        assert all(0 <= item.peer_id <= 2 for item in items)
+
+    def test_k_capped_at_n(self, rng):
+        index = CentralizedIndex(rng.random((5, 3)), np.arange(5))
+        assert len(index.knn(rng.random(3), 50)) == 5
+
+    def test_duplicate_ids_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            CentralizedIndex(rng.random((3, 2)), np.array([1, 1, 2]))
+
+    def test_invalid_k(self, rng):
+        index = CentralizedIndex(rng.random((5, 3)), np.arange(5))
+        with pytest.raises(ValidationError):
+            index.knn(rng.random(3), 0)

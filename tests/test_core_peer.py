@@ -1,0 +1,110 @@
+"""Tests for HyperMPeer."""
+
+import numpy as np
+import pytest
+
+from repro.core.peer import HyperMPeer
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def peer(rng):
+    return HyperMPeer(0, rng.random((30, 16)))
+
+
+class TestConstruction:
+    def test_default_item_ids(self, peer):
+        assert np.array_equal(peer.item_ids, np.arange(30))
+
+    def test_explicit_item_ids(self, rng):
+        ids = np.arange(100, 110)
+        peer = HyperMPeer(1, rng.random((10, 8)), ids)
+        assert np.array_equal(peer.item_ids, ids)
+
+    def test_id_length_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            HyperMPeer(0, rng.random((5, 8)), np.arange(4))
+
+    def test_out_of_cube_rejected(self):
+        with pytest.raises(ValidationError):
+            HyperMPeer(0, np.full((3, 4), 2.0))
+
+
+class TestSummary:
+    def test_build_summary(self, peer):
+        summary = peer.build_summary(n_clusters=4, levels_used=3, rng=0)
+        assert peer.summary is summary
+        assert len(summary.levels) == 3
+
+    def test_summary_only_covers_published(self, rng):
+        peer = HyperMPeer(0, rng.random((20, 16)))
+        peer.add_items(rng.random((10, 16)), np.arange(100, 110))
+        summary = peer.build_summary(n_clusters=3, levels_used=2, rng=0)
+        for level in summary.levels:
+            assert summary.items_summarised(level) == 20
+
+
+class TestRangeSearch:
+    def test_self_retrieval(self, peer):
+        hits = peer.range_search(peer.data[4], 0.0)
+        assert any(h.item_id == 4 for h in hits)
+
+    def test_exactness(self, peer, rng):
+        query = rng.random(16)
+        radius = 0.8
+        hits = peer.range_search(query, radius)
+        expected = {
+            int(i)
+            for i, row in enumerate(peer.data)
+            if np.linalg.norm(row - query) <= radius
+        }
+        assert {h.item_id for h in hits} == expected
+
+    def test_distances_correct(self, peer, rng):
+        query = rng.random(16)
+        for hit in peer.range_search(query, 2.0):
+            row = peer.data[list(peer.item_ids).index(hit.item_id)]
+            assert np.isclose(hit.distance, np.linalg.norm(row - query))
+
+    def test_dimension_mismatch(self, peer):
+        with pytest.raises(Exception):
+            peer.range_search(np.zeros(4), 0.1)
+
+
+class TestNearestItems:
+    def test_order_and_count(self, peer, rng):
+        query = rng.random(16)
+        hits = peer.nearest_items(query, 5)
+        assert len(hits) == 5
+        dists = [h.distance for h in hits]
+        assert dists == sorted(dists)
+
+    def test_count_capped(self, peer, rng):
+        assert len(peer.nearest_items(rng.random(16), 100)) == 30
+
+    def test_zero_count(self, peer, rng):
+        assert peer.nearest_items(rng.random(16), 0) == []
+
+    def test_matches_brute_force(self, peer, rng):
+        query = rng.random(16)
+        hits = peer.nearest_items(query, 7)
+        dists = np.linalg.norm(peer.data - query, axis=1)
+        expected = set(np.argsort(dists)[:7].tolist())
+        assert {h.item_id for h in hits} == expected
+
+
+class TestAddItems:
+    def test_post_hoc_items_visible_to_search(self, peer, rng):
+        new = rng.random((5, 16))
+        peer.add_items(new, np.arange(200, 205))
+        assert peer.n_items == 35
+        hits = peer.range_search(new[0], 0.0)
+        assert any(h.item_id == 200 for h in hits)
+
+    def test_unpublished_boundary_tracked(self, peer, rng):
+        peer.add_items(rng.random((3, 16)), np.arange(300, 303))
+        assert peer.unpublished_from == 30
+
+    def test_id_mismatch_rejected(self, peer, rng):
+        with pytest.raises(ValidationError):
+            peer.add_items(rng.random((2, 16)), np.arange(3))

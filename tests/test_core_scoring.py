@@ -1,0 +1,87 @@
+"""Tests for Eq. 1 peer scoring and cross-level aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ClusterRecord
+from repro.core.scoring import aggregate_scores, level_scores, rank_peers
+from repro.exceptions import ValidationError
+from repro.overlay.base import StoredEntry
+
+
+def entry(peer_id, key, radius, items):
+    return StoredEntry(
+        key=np.asarray(key, dtype=float),
+        radius=radius,
+        value=ClusterRecord(peer_id=peer_id, items=items, level_name="A"),
+    )
+
+
+class TestLevelScores:
+    def test_full_containment_counts_all_items(self):
+        entries = [entry(1, [0.5, 0.5], 0.1, 40)]
+        scores = level_scores(entries, np.array([0.5, 0.5]), 0.5)
+        assert np.isclose(scores[1], 40.0)
+
+    def test_disjoint_contributes_nothing(self):
+        entries = [entry(1, [0.1, 0.1], 0.05, 40)]
+        scores = level_scores(entries, np.array([0.9, 0.9]), 0.05)
+        assert 1 not in scores
+
+    def test_partial_overlap_scales_items(self):
+        entries = [entry(1, [0.5, 0.5], 0.2, 100)]
+        scores = level_scores(entries, np.array([0.6, 0.5]), 0.2)
+        assert 0 < scores[1] < 100
+
+    def test_multiple_clusters_same_peer_sum(self):
+        entries = [
+            entry(2, [0.5, 0.5], 0.1, 10),
+            entry(2, [0.52, 0.5], 0.1, 20),
+        ]
+        scores = level_scores(entries, np.array([0.5, 0.5]), 0.5)
+        assert np.isclose(scores[2], 30.0)
+
+    def test_tangential_touch_gets_floor_not_zero(self):
+        """A touching cluster must keep a non-zero score, or min-aggregation
+        would violate the no-false-dismissal guarantee."""
+        entries = [entry(3, [0.5, 0.5], 0.1, 10)]
+        # Tangent: distance = radius + query radius exactly.
+        scores = level_scores(entries, np.array([0.7, 0.5]), 0.1)
+        assert scores.get(3, 0.0) > 0.0
+
+
+class TestAggregation:
+    def test_min_policy(self):
+        per_level = {"A": {1: 5.0, 2: 9.0}, "D0": {1: 3.0, 2: 12.0}}
+        out = aggregate_scores(per_level, policy="min")
+        assert out == {1: 3.0, 2: 9.0}
+
+    def test_min_prunes_missing_peers(self):
+        per_level = {"A": {1: 5.0, 2: 9.0}, "D0": {2: 1.0}}
+        out = aggregate_scores(per_level, policy="min")
+        assert 1 not in out
+
+    def test_sum_policy(self):
+        per_level = {"A": {1: 5.0}, "D0": {1: 3.0}}
+        assert aggregate_scores(per_level, policy="sum") == {1: 8.0}
+
+    def test_product_policy(self):
+        per_level = {"A": {1: 5.0}, "D0": {1: 3.0}}
+        assert aggregate_scores(per_level, policy="product") == {1: 15.0}
+
+    def test_empty(self):
+        assert aggregate_scores({}) == {}
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValidationError):
+            aggregate_scores({"A": {1: 1.0}}, policy="median")
+
+
+class TestRankPeers:
+    def test_descending(self):
+        ranked = rank_peers({1: 2.0, 2: 9.0, 3: 5.0})
+        assert [p for p, __ in ranked] == [2, 3, 1]
+
+    def test_deterministic_ties(self):
+        ranked = rank_peers({5: 1.0, 2: 1.0, 9: 1.0})
+        assert [p for p, __ in ranked] == [2, 5, 9]

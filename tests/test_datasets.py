@@ -1,0 +1,142 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.histograms import generate_histograms
+from repro.datasets.markov import generate_markov_vectors
+from repro.datasets.partition import partition_among_peers
+from repro.datasets.skewed import generate_skewed_dataset
+from repro.exceptions import ValidationError
+
+
+class TestMarkov:
+    def test_shape_and_range(self):
+        data = generate_markov_vectors(50, 64, rng=0)
+        assert data.shape == (50, 64)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_reproducible(self):
+        a = generate_markov_vectors(10, 32, rng=7)
+        b = generate_markov_vectors(10, 32, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_vectors_are_smooth_walks(self):
+        """Consecutive coordinates differ by at most the max step bound."""
+        data = generate_markov_vectors(20, 64, max_step_bound=0.05, rng=1)
+        diffs = np.abs(np.diff(data, axis=1))
+        assert diffs.max() <= 0.05 + 1e-12
+
+    def test_vectors_differ(self):
+        data = generate_markov_vectors(5, 32, rng=2)
+        assert not np.allclose(data[0], data[1])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            generate_markov_vectors(0, 16)
+        with pytest.raises(ValidationError):
+            generate_markov_vectors(5, 0)
+
+
+class TestHistograms:
+    def test_shape_and_labels(self):
+        ds = generate_histograms(10, 6, 32, rng=0)
+        assert ds.data.shape == (60, 32)
+        assert ds.labels.shape == (60,)
+        assert ds.n_objects == 10
+        assert np.all(np.bincount(ds.labels) == 6)
+
+    def test_unit_cube(self):
+        ds = generate_histograms(8, 5, 64, rng=1)
+        assert ds.data.min() >= 0.0
+        assert np.isclose(ds.data.max(), 1.0)
+
+    def test_same_object_views_are_closer(self):
+        """The ALOI structure: intra-object distance < inter-object."""
+        ds = generate_histograms(15, 8, 64, rng=2)
+        intra, inter = [], []
+        rng = np.random.default_rng(3)
+        for __ in range(300):
+            i, j = rng.integers(0, ds.n_items, size=2)
+            if i == j:
+                continue
+            dist = np.linalg.norm(ds.data[i] - ds.data[j])
+            (intra if ds.labels[i] == ds.labels[j] else inter).append(dist)
+        assert np.mean(intra) < 0.5 * np.mean(inter)
+
+    def test_power_of_two_bins_required(self):
+        with pytest.raises(Exception):
+            generate_histograms(5, 5, 48)
+
+    def test_reproducible(self):
+        a = generate_histograms(5, 4, 32, rng=9)
+        b = generate_histograms(5, 4, 32, rng=9)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestSkewed:
+    def test_output_is_subset(self, rng):
+        data = rng.random((200, 8))
+        skewed = generate_skewed_dataset(data, 3, rng=0)
+        assert skewed.shape[0] < 200
+        assert skewed.shape[1] == 8
+
+    def test_fewer_clusters_fewer_rows(self, rng):
+        data = rng.random((300, 8))
+        small = generate_skewed_dataset(data, 2, rng=1)
+        large = generate_skewed_dataset(data, 5, rng=1)
+        assert small.shape[0] <= large.shape[0]
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValidationError):
+            generate_skewed_dataset(rng.random((10, 2)), 0)
+
+
+class TestPartition:
+    def test_every_item_exactly_once(self, rng):
+        data = rng.random((200, 8))
+        parts = partition_among_peers(data, 10, rng=0)
+        all_ids = np.concatenate([ids for __, ids in parts])
+        assert sorted(all_ids.tolist()) == list(range(200))
+
+    def test_every_peer_nonempty(self, rng):
+        data = rng.random((100, 4))
+        parts = partition_among_peers(data, 20, rng=1)
+        assert all(block.shape[0] >= 1 for block, __ in parts)
+
+    def test_peer_count(self, rng):
+        parts = partition_among_peers(rng.random((50, 4)), 7, rng=2)
+        assert len(parts) == 7
+
+    def test_data_matches_ids(self, rng):
+        data = rng.random((80, 4))
+        ids = np.arange(1000, 1080)
+        parts = partition_among_peers(data, 8, item_ids=ids, rng=3)
+        for block, block_ids in parts:
+            for row, item_id in zip(block, block_ids):
+                assert np.array_equal(row, data[item_id - 1000])
+
+    def test_interest_locality(self, rng):
+        """Items sharing a global cluster should concentrate on few peers."""
+        centers = rng.random((10, 8))
+        data = np.clip(
+            np.repeat(centers, 30, axis=0)
+            + rng.normal(0, 0.01, size=(300, 8)),
+            0, 1,
+        )
+        parts = partition_among_peers(
+            data, 20, clusters_per_peer=2, peers_per_cluster=(3, 3), rng=4
+        )
+        # ~13 k-means clusters over 10 true blobs, 3 peers each: every true
+        # blob should concentrate on well under half the 20 peers.
+        for c in range(10):
+            holders = {
+                peer_idx
+                for peer_idx, (__, ids) in enumerate(parts)
+                if np.any((ids >= c * 30) & (ids < (c + 1) * 30))
+            }
+            assert len(holders) <= 9
+
+    def test_too_few_items(self, rng):
+        with pytest.raises(ValidationError):
+            partition_among_peers(rng.random((5, 2)), 10, rng=0)

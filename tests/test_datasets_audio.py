@@ -1,0 +1,65 @@
+"""Tests for the tonal-feature (music) dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.audio import generate_audio_features
+from repro.exceptions import ValidationError
+
+
+class TestAudioFeatures:
+    def test_shape_and_labels(self):
+        ds = generate_audio_features(6, 10, 32, rng=0)
+        assert ds.data.shape == (60, 32)
+        assert ds.n_genres == 6
+        assert np.all(np.bincount(ds.labels) == 10)
+
+    def test_unit_cube(self):
+        ds = generate_audio_features(4, 8, 64, rng=1)
+        assert ds.data.min() >= 0.0
+        assert np.isclose(ds.data.max(), 1.0)
+
+    def test_genre_structure(self):
+        """Tracks of one genre must be closer than across genres."""
+        ds = generate_audio_features(10, 12, 64, rng=2)
+        rng = np.random.default_rng(3)
+        intra, inter = [], []
+        for __ in range(400):
+            i, j = rng.integers(0, ds.n_items, size=2)
+            if i == j:
+                continue
+            dist = np.linalg.norm(ds.data[i] - ds.data[j])
+            (intra if ds.labels[i] == ds.labels[j] else inter).append(dist)
+        assert np.mean(intra) < 0.75 * np.mean(inter)
+
+    def test_reproducible(self):
+        a = generate_audio_features(3, 4, 32, rng=7)
+        b = generate_audio_features(3, 4, 32, rng=7)
+        assert np.array_equal(a.data, b.data)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            generate_audio_features(0, 5)
+        with pytest.raises(Exception):
+            generate_audio_features(3, 5, 48)  # not a power of two
+
+    def test_retrieval_pipeline_compatibility(self, rng):
+        """Audio features flow through the full Hyper-M pipeline."""
+        from repro.core import CentralizedIndex, HyperMConfig, HyperMNetwork
+        from repro.datasets.partition import partition_among_peers
+
+        ds = generate_audio_features(20, 10, 32, rng=4)
+        parts = partition_among_peers(
+            ds.data, 8, clusters_per_peer=4,
+            item_ids=np.arange(ds.n_items), rng=5,
+        )
+        net = HyperMNetwork(
+            32, HyperMConfig(levels_used=3, n_clusters=4), rng=6
+        )
+        for data, ids in parts:
+            net.add_peer(data, ids)
+        net.publish_all()
+        query = ds.data[15]
+        truth = CentralizedIndex.from_network(net).range_search(query, 0.1)
+        result = net.range_query(query, 0.1)
+        assert truth <= result.item_ids

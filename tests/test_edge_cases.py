@@ -1,0 +1,97 @@
+"""Edge-case behaviour across the stack: empty, degenerate, and tiny inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import HyperMConfig, HyperMNetwork
+from repro.exceptions import EmptyNetworkError, ValidationError
+
+
+class TestUnpublishedNetwork:
+    def test_range_query_before_publish_returns_empty(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=2, n_clusters=2), rng=0)
+        net.add_peer(rng.random((10, 16)))
+        result = net.range_query(rng.random(16), 0.5)
+        assert result.items == []
+        assert result.peer_scores == {}
+
+    def test_knn_before_publish_returns_empty(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=2, n_clusters=2), rng=0)
+        net.add_peer(rng.random((10, 16)))
+        result = net.knn_query(rng.random(16), 5)
+        assert result.items == []
+
+    def test_query_with_no_peers_raises(self):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=2, n_clusters=2), rng=0)
+        with pytest.raises(EmptyNetworkError):
+            net.range_query(np.full(16, 0.5), 0.5)
+
+
+class TestDegenerateData:
+    def test_single_item_peer(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=3, n_clusters=5), rng=0)
+        item = rng.random((1, 16))
+        net.add_peer(item, np.array([7]))
+        net.add_peer(rng.random((10, 16)), np.arange(10, 20))
+        report = net.publish_all()
+        assert report.items_published == 11
+        result = net.range_query(item[0], 0.0)
+        assert 7 in result.item_ids
+
+    def test_all_identical_items(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=2, n_clusters=3), rng=0)
+        data = np.tile(rng.random(16), (12, 1))
+        net.add_peer(data, np.arange(12))
+        net.publish_all()
+        result = net.range_query(data[0], 0.0)
+        assert result.item_ids == set(range(12))
+
+    def test_boundary_items(self):
+        """Items exactly on the unit-cube boundary survive the pipeline."""
+        net = HyperMNetwork(8, HyperMConfig(levels_used=2, n_clusters=2), rng=0)
+        data = np.vstack([np.zeros(8), np.ones(8), np.full(8, 0.5)])
+        net.add_peer(data, np.arange(3))
+        net.add_peer(np.full((3, 8), 0.25), np.arange(10, 13))
+        net.publish_all()
+        for i, row in enumerate(data):
+            result = net.range_query(row, 0.0)
+            assert i in result.item_ids
+
+    def test_minimum_dimensionality(self, rng):
+        """d=2 works: one approximation level and one detail level."""
+        net = HyperMNetwork(2, HyperMConfig(levels_used=2, n_clusters=2), rng=0)
+        net.add_peer(rng.random((10, 2)), np.arange(10))
+        net.publish_all()
+        result = net.range_query(net.peers[0].data[0], 0.1)
+        assert result.items
+
+    def test_levels_exceeding_dimensionality_rejected(self, rng):
+        from repro.exceptions import DimensionalityError
+
+        with pytest.raises(DimensionalityError):
+            HyperMNetwork(4, HyperMConfig(levels_used=5, n_clusters=2), rng=0)
+
+
+class TestReportEdges:
+    def test_level_loads_shape(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=3, n_clusters=2), rng=0)
+        net.add_peer(rng.random((10, 16)))
+        net.add_peer(rng.random((10, 16)))
+        net.publish_all()
+        loads = net.level_loads()
+        assert set(loads) == set(net.levels)
+        for level, per_node in loads.items():
+            assert sum(per_node.values()) >= 2  # at least one sphere/peer
+
+    def test_empty_dissemination_report(self):
+        from repro.core.results import DisseminationReport
+
+        report = DisseminationReport()
+        assert report.hops_per_item == 0.0
+        assert report.hops_per_sphere == 0.0
+
+    def test_zero_epsilon_rejects_negative(self, tiny_histogram_workload):
+        with pytest.raises(ValidationError):
+            tiny_histogram_workload.network.range_query(
+                tiny_histogram_workload.ground_truth.data[0], -0.1
+            )

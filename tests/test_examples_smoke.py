@@ -1,0 +1,34 @@
+"""Smoke-run the example scripts (they are user-facing documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "recurring_study_group.py"],
+)
+def test_example_runs(script):
+    """The fast examples must run to completion and produce output."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 100
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in scripts:
+        assert script in readme, f"{script} missing from README examples table"

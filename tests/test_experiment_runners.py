@@ -1,0 +1,175 @@
+"""Smoke + shape tests for every figure's experiment runner.
+
+Each test runs the runner at miniature scale and asserts the *shape* the
+paper reports — who wins, which direction curves move — not absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.dissemination import (
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+    run_fig9,
+)
+from repro.evaluation.effectiveness import (
+    run_c_knob,
+    run_fig10a,
+    run_fig10b,
+    run_fig10c,
+)
+from repro.evaluation.quality import normalized_ratios, run_fig11
+
+
+@pytest.mark.slow
+class TestFig8a:
+    def test_replication_falls_with_finer_clustering(self):
+        rows = run_fig8a(
+            n_peers=10, items_per_peer=60, cluster_counts=(2, 10), rng=0
+        )
+        coarse, fine = rows
+        assert fine.replica_hops_per_sphere < coarse.replica_hops_per_sphere
+        assert fine.mean_sphere_radius < coarse.mean_sphere_radius
+        # Total approaches routing-only cost as clusters shrink.
+        assert fine.hops_per_sphere < coarse.hops_per_sphere
+
+
+@pytest.mark.slow
+class TestFig8b:
+    def test_hyperm_amortises_with_volume(self):
+        rows = run_fig8b(
+            n_peers=12, items_per_peer_sweep=(40, 160), rng=1
+        )
+        assert rows[1].hyperm_hops_per_item < rows[0].hyperm_hops_per_item
+        # CAN baselines stay roughly flat.
+        assert np.isclose(
+            rows[0].can_hops_per_item, rows[1].can_hops_per_item, rtol=0.5
+        )
+
+    def test_hyperm_beats_can_at_volume(self):
+        rows = run_fig8b(
+            n_peers=12, items_per_peer_sweep=(300,), rng=2
+        )
+        assert rows[0].hyperm_hops_per_item < rows[0].can_hops_per_item
+
+
+@pytest.mark.slow
+class TestFig8c:
+    def test_cost_grows_with_levels(self):
+        rows, baselines = run_fig8c(
+            n_peers=10, items_per_peer=200, levels_sweep=(1, 4), rng=3
+        )
+        assert rows[0].hyperm_hops_per_item < rows[1].hyperm_hops_per_item
+        # Even 4 levels beat per-item CAN at this volume.
+        assert rows[1].hyperm_hops_per_item < baselines.can_hops_per_item
+
+
+@pytest.mark.slow
+class TestFig9:
+    def test_wavelets_spread_skewed_data(self):
+        rows = run_fig9(
+            n_peers=12, n_source_items=600, skew_clusters_sweep=(3,),
+            levels_sweep=(1, 4), rng=4,
+        )
+        by_config = {row.configuration: row for row in rows}
+        assert by_config["L=4"].gini < by_config["original"].gini
+        assert (
+            by_config["L=4"].participation
+            >= by_config["original"].participation
+        )
+
+
+@pytest.mark.slow
+class TestFig10a:
+    def test_recall_rises_with_contacts(self):
+        out = run_fig10a(
+            n_peers=10, n_objects=50, views_per_object=8,
+            cluster_counts=(5,), peers_contacted_sweep=(1, 5, 10),
+            n_queries=6, rng=5,
+        )
+        series = out[5]
+        assert series[-1].mean >= series[0].mean
+        assert series[-1].mean > 0.8  # contacting everyone ≈ full recall
+
+
+@pytest.mark.slow
+class TestFig10b:
+    def test_balanced_precision_recall(self):
+        rows = run_fig10b(
+            n_peers=10, n_objects=50, views_per_object=8,
+            cluster_counts=(10,), k_values=(5,), n_queries=6, rng=6,
+        )
+        row = rows[0]
+        assert row.precision_mean > 0.25
+        assert row.recall_mean > 0.4
+
+
+@pytest.mark.slow
+class TestCKnob:
+    def test_c_trades_precision_for_recall(self):
+        rows = run_c_knob(
+            n_peers=10, n_objects=50, views_per_object=8,
+            c_values=(1.0, 2.0), n_queries=8, rng=7,
+        )
+        assert rows[1].recall >= rows[0].recall - 0.02
+        assert rows[1].precision <= rows[0].precision + 0.02
+
+
+@pytest.mark.slow
+class TestFig10c:
+    def test_recall_degrades_with_new_items(self):
+        rows = run_fig10c(
+            n_peers=12, n_objects=40, views_per_object=15,
+            new_fraction_steps=(0.0, 0.45), n_queries=10, max_peers=4,
+            rng=8,
+        )
+        assert rows[1].mean <= rows[0].mean + 0.05
+
+
+@pytest.mark.slow
+class TestWaveletFamilyAblation:
+    def test_families_all_show_coarse_advantage(self):
+        from repro.evaluation.quality import run_wavelet_family_ablation
+
+        rows = run_wavelet_family_ablation(
+            wavelets=("haar", "db2"), n_objects=50, views_per_object=6,
+            n_bins=32, n_clusters=6, coarse_levels=3, rng=11,
+        )
+        baseline = next(r.ratio for r in rows if r.space == "original")
+        for family in ("haar", "db2"):
+            best = min(r.ratio for r in rows if r.wavelet == family)
+            assert best < baseline
+
+
+@pytest.mark.slow
+class TestConstructionComparison:
+    def test_hyperm_faster_on_both_schedules(self):
+        from repro.evaluation.construction import run_construction_comparison
+
+        comparison = run_construction_comparison(
+            n_peers=8, items_per_peer=200, dimensionality=32, rng=12
+        )
+        assert comparison.parallel_speedup > 1.0
+        assert comparison.shared_channel_speedup > 1.0
+
+
+@pytest.mark.slow
+class TestFig11:
+    def test_coarse_wavelet_spaces_cluster_better(self):
+        rows = run_fig11(
+            n_objects=60, views_per_object=8, n_clusters=8, rng=9
+        )
+        ratios = normalized_ratios(rows)
+        # The paper: the first wavelet spaces beat the original space.
+        assert min(ratios["A"], ratios["D0"], ratios["D1"]) < 1.0
+
+    def test_row_per_space(self):
+        rows = run_fig11(
+            n_objects=30, views_per_object=6, n_bins=32, n_clusters=5,
+            max_levels=3, rng=10,
+        )
+        spaces = [row.space for row in rows]
+        assert spaces[0] == "original"
+        assert "A" in spaces

@@ -1,0 +1,148 @@
+"""Tests for Eq. 5–7: cap and intersection volume fractions.
+
+The analytic formulas are validated three ways: against closed-form 2-d/3-d
+geometry, against the paper's own Eq. 5 series, and against Monte-Carlo
+estimates (property tests).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.geometry.intersection import (
+    cap_fraction,
+    cap_fraction_series_even,
+    intersection_fraction,
+)
+from repro.geometry.montecarlo import monte_carlo_intersection_fraction
+
+
+class TestCapFraction:
+    def test_limits(self):
+        for d in (1, 2, 3, 4, 7, 10):
+            assert cap_fraction(0.0, d) == 0.0
+            assert np.isclose(cap_fraction(math.pi / 2, d), 0.5)
+            assert np.isclose(cap_fraction(math.pi, d), 1.0)
+
+    def test_2d_closed_form(self):
+        # Circular segment: (alpha - sin(alpha)cos(alpha)) / pi
+        for alpha in (0.3, 0.7, 1.2, 2.0, 2.9):
+            expected = (alpha - math.sin(alpha) * math.cos(alpha)) / math.pi
+            assert np.isclose(cap_fraction(alpha, 2), expected, atol=1e-12)
+
+    def test_3d_closed_form(self):
+        # Spherical cap: h^2 (3 - h) / 4 with h = 1 - cos(alpha), r = 1.
+        for alpha in (0.4, 1.0, 1.5):
+            h = 1.0 - math.cos(alpha)
+            expected = h * h * (3.0 - h) / 4.0
+            assert np.isclose(cap_fraction(alpha, 3), expected, atol=1e-12)
+
+    def test_monotone_in_alpha(self):
+        alphas = np.linspace(0, math.pi, 50)
+        for d in (2, 5, 16):
+            values = [cap_fraction(a, d) for a in alphas]
+            assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            cap_fraction(-0.1, 2)
+        with pytest.raises(ValidationError):
+            cap_fraction(4.0, 2)
+        with pytest.raises(ValidationError):
+            cap_fraction(1.0, 0)
+
+
+class TestEq5Series:
+    @pytest.mark.parametrize("d", [2, 4, 6, 8, 16, 64])
+    def test_matches_beta_closed_form(self, d):
+        """The paper's Eq. 5 series equals the incomplete-beta cap fraction
+        for every even dimension (for alpha <= pi/2 where the series form
+        applies directly)."""
+        for alpha in np.linspace(0.01, math.pi / 2, 12):
+            assert np.isclose(
+                cap_fraction_series_even(alpha, d),
+                cap_fraction(alpha, d),
+                atol=1e-10,
+            )
+
+    def test_rejects_odd_d(self):
+        with pytest.raises(ValidationError):
+            cap_fraction_series_even(1.0, 3)
+
+
+class TestIntersectionFraction:
+    def test_disjoint(self):
+        assert intersection_fraction(1.0, 1.0, 3.0, 4) == 0.0
+
+    def test_tangent_external(self):
+        assert intersection_fraction(1.0, 1.0, 2.0, 4) == 0.0
+
+    def test_data_inside_query(self):
+        assert intersection_fraction(0.5, 2.0, 0.3, 4) == 1.0
+
+    def test_query_inside_data(self):
+        # Concentric: fraction = (eps/r)^d
+        assert np.isclose(intersection_fraction(2.0, 1.0, 0.0, 3), 0.125)
+
+    def test_zero_radius_data_sphere(self):
+        assert intersection_fraction(0.0, 1.0, 0.5, 4) == 1.0
+        assert intersection_fraction(0.0, 1.0, 1.5, 4) == 0.0
+
+    def test_equal_spheres_half_overlap_2d(self):
+        # Two unit circles at distance 1: lens area is known.
+        lens = 2.0 * math.pi / 3.0 - math.sqrt(3.0) / 2.0
+        expected = lens / math.pi
+        assert np.isclose(intersection_fraction(1.0, 1.0, 1.0, 2), expected)
+
+    def test_symmetric_in_equal_radii(self):
+        f = intersection_fraction(1.0, 1.0, 0.8, 6)
+        assert 0.0 < f < 1.0
+
+    def test_monotone_in_query_radius(self):
+        eps_values = np.linspace(0.0, 3.0, 40)
+        fractions = [
+            intersection_fraction(1.0, e, 1.2, 5) for e in eps_values
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_monotone_decreasing_in_distance(self):
+        distances = np.linspace(0.0, 2.5, 40)
+        fractions = [
+            intersection_fraction(1.0, 1.0, b, 4) for b in distances
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    @given(
+        r=st.floats(min_value=0.1, max_value=2.0),
+        eps=st.floats(min_value=0.1, max_value=2.0),
+        gap=st.floats(min_value=0.0, max_value=0.95),
+        d=st.integers(min_value=1, max_value=8),
+    )
+    def test_in_unit_interval(self, r, eps, gap, d):
+        b = gap * (r + eps)
+        f = intersection_fraction(r, eps, b, d)
+        assert 0.0 <= f <= 1.0
+
+    @pytest.mark.parametrize(
+        "r,eps,b,d",
+        [
+            (1.0, 1.0, 1.0, 2),
+            (1.0, 0.7, 1.2, 3),
+            (0.5, 1.1, 0.9, 4),
+            (1.0, 1.0, 0.5, 6),
+            (2.0, 1.0, 1.8, 5),
+        ],
+    )
+    def test_against_monte_carlo(self, r, eps, b, d):
+        analytic = intersection_fraction(r, eps, b, d)
+        center = np.zeros(d)
+        query = np.zeros(d)
+        query[0] = b
+        mc = monte_carlo_intersection_fraction(
+            center, r, query, eps, n_samples=200_000, rng=0
+        )
+        assert abs(analytic - mc) < 0.01

@@ -1,0 +1,63 @@
+"""Tests for the Monte-Carlo sampler used to cross-check Eq. 5–7."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.geometry.montecarlo import (
+    monte_carlo_intersection_fraction,
+    sample_in_ball,
+)
+
+
+class TestSampleInBall:
+    def test_all_inside(self, rng):
+        center = np.array([1.0, -2.0, 0.5])
+        points = sample_in_ball(5000, center, 2.0, rng)
+        assert np.all(np.linalg.norm(points - center, axis=1) <= 2.0 + 1e-12)
+
+    def test_uniformity_radial_moment(self, rng):
+        # For uniform sampling in a d-ball, E[(r/R)^d] relates to CDF:
+        # P(r <= t R) = t^d, so the median radius is R * (1/2)^(1/d).
+        d = 3
+        points = sample_in_ball(20000, np.zeros(d), 1.0, rng)
+        radii = np.linalg.norm(points, axis=1)
+        assert abs(np.median(radii) - 0.5 ** (1 / d)) < 0.02
+
+    def test_zero_radius(self, rng):
+        points = sample_in_ball(10, np.ones(2), 0.0, rng)
+        assert np.allclose(points, 1.0)
+
+    def test_bad_count(self, rng):
+        with pytest.raises(ValidationError):
+            monte_carlo_intersection_fraction(
+                np.zeros(2), 1.0, np.zeros(2), 1.0, n_samples=0, rng=rng
+            )
+
+
+class TestMonteCarloFraction:
+    def test_identical_spheres(self, rng):
+        f = monte_carlo_intersection_fraction(
+            np.zeros(3), 1.0, np.zeros(3), 1.0, n_samples=2000, rng=rng
+        )
+        assert f == 1.0
+
+    def test_disjoint(self, rng):
+        f = monte_carlo_intersection_fraction(
+            np.zeros(2), 0.5, np.array([5.0, 0.0]), 0.5, n_samples=2000, rng=rng
+        )
+        assert f == 0.0
+
+    def test_point_data_sphere(self, rng):
+        assert monte_carlo_intersection_fraction(
+            np.zeros(2), 0.0, np.array([0.3, 0.0]), 0.5, rng=rng
+        ) == 1.0
+        assert monte_carlo_intersection_fraction(
+            np.zeros(2), 0.0, np.array([0.9, 0.0]), 0.5, rng=rng
+        ) == 0.0
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(Exception):
+            monte_carlo_intersection_fraction(
+                np.zeros(2), 1.0, np.zeros(3), 1.0, rng=rng
+            )

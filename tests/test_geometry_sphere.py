@@ -1,0 +1,39 @@
+"""Tests for d-ball volumes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.geometry.sphere import ball_volume, unit_ball_volume
+
+
+class TestUnitBallVolume:
+    def test_known_values(self):
+        assert np.isclose(unit_ball_volume(1), 2.0)
+        assert np.isclose(unit_ball_volume(2), math.pi)
+        assert np.isclose(unit_ball_volume(3), 4.0 * math.pi / 3.0)
+        assert np.isclose(unit_ball_volume(4), math.pi**2 / 2.0)
+
+    def test_high_dim_shrinks(self):
+        # Famous fact: unit-ball volume peaks at d=5 then decays to zero.
+        volumes = [unit_ball_volume(d) for d in range(1, 40)]
+        assert max(volumes) == volumes[4]
+        assert volumes[-1] < 1e-8
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValidationError):
+            unit_ball_volume(0)
+
+
+class TestBallVolume:
+    def test_scaling_law(self):
+        assert np.isclose(ball_volume(2.0, 3), unit_ball_volume(3) * 8.0)
+
+    def test_zero_radius(self):
+        assert ball_volume(0.0, 5) == 0.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            ball_volume(-1.0, 2)

@@ -1,0 +1,69 @@
+"""Tests for item-level conveniences and charged withdrawal."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import HyperMConfig, HyperMNetwork
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def network(rng):
+    net = HyperMNetwork(16, HyperMConfig(levels_used=3, n_clusters=3), rng=0)
+    for p in range(5):
+        net.add_peer(rng.random((20, 16)), np.arange(p * 20, (p + 1) * 20))
+    net.publish_all()
+    return net
+
+
+class TestLocateItem:
+    def test_finds_holder(self, network):
+        peer, vector = network.locate_item(47)
+        assert peer.peer_id == 2  # items 40-59
+        assert 47 in peer.item_ids
+        assert np.array_equal(
+            vector, peer.data[list(peer.item_ids).index(47)]
+        )
+
+    def test_unknown_item(self, network):
+        with pytest.raises(ValidationError):
+            network.locate_item(9999)
+
+
+class TestFindSimilar:
+    def test_excludes_the_item_itself(self, network):
+        result = network.find_similar(10, k=5)
+        assert 10 not in result.item_ids
+        assert len(result.items) >= 1
+
+    def test_origin_is_the_holder(self, network):
+        result = network.find_similar(85, k=3)
+        # The holder answers for itself without a retrieval round trip.
+        assert isinstance(result.peers_contacted, list)
+
+    def test_exact_mode_passthrough(self, network):
+        result = network.find_similar(25, k=4, exact=True)
+        assert 25 not in result.item_ids
+        assert len(result.items) == 4
+
+
+class TestChargedWithdrawal:
+    def test_charge_adds_traffic(self, network):
+        before = network.fabric.metrics.total_hops
+        removed = network.withdraw_summaries(1, charge=True)
+        after = network.fabric.metrics.total_hops
+        assert removed > 0
+        assert after > before
+
+    def test_uncharged_is_free(self, network):
+        before = network.fabric.metrics.total_hops
+        network.withdraw_summaries(1)
+        assert network.fabric.metrics.total_hops == before
+
+    def test_republish_charges_withdrawal(self, network, rng):
+        network.peers[3].add_items(rng.random((5, 16)), np.arange(900, 905))
+        before = network.fabric.metrics.total_hops
+        report = network.republish_peer(3)
+        delta = network.fabric.metrics.total_hops - before
+        # Withdrawal traffic + fresh publication traffic both appear.
+        assert delta > report.total_hops

@@ -1,0 +1,131 @@
+"""Tests for messages, energy, metrics, and the network fabric."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.net.energy import EnergyLedger, EnergyModel
+from repro.net.messages import (
+    BYTES_PER_COORD,
+    HEADER_BYTES,
+    MessageKind,
+    vector_message_size,
+)
+from repro.net.metrics import NetworkMetrics
+from repro.net.network import Network
+from repro.net.node import SimNode
+
+
+class TestMessageSizes:
+    def test_vector_size(self):
+        assert vector_message_size(4) == HEADER_BYTES + 4 * BYTES_PER_COORD
+
+    def test_with_scalars(self):
+        assert vector_message_size(4, scalars=2) == (
+            HEADER_BYTES + 4 * BYTES_PER_COORD + 16
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vector_message_size(-1)
+
+
+class TestEnergyModel:
+    def test_hop_cost_is_tx_plus_rx(self):
+        model = EnergyModel()
+        assert model.hop_cost(100) == model.tx_cost(100) + model.rx_cost(100)
+
+    def test_costs_scale_with_bytes(self):
+        model = EnergyModel(tx_per_byte=1.0, tx_fixed=10.0)
+        assert model.tx_cost(0) == 10.0
+        assert model.tx_cost(5) == 15.0
+
+    def test_ledger_accumulates(self):
+        ledger = EnergyLedger(model=EnergyModel(
+            tx_per_byte=1, rx_per_byte=1, tx_fixed=0, rx_fixed=0))
+        ledger.charge_hop(1, 2, 100)
+        ledger.charge_hop(2, 3, 50)
+        assert ledger.node_energy(1) == 100
+        assert ledger.node_energy(2) == 100 + 50
+        assert ledger.node_energy(3) == 50
+        assert ledger.total == 300
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyModel(tx_per_byte=-1.0)
+
+
+class TestNetworkMetrics:
+    def test_transmit_counting(self):
+        metrics = NetworkMetrics()
+        metrics.record_transmit(MessageKind.INSERT, 100)
+        metrics.record_transmit(MessageKind.INSERT, 50)
+        metrics.record_transmit(MessageKind.LOOKUP, 10)
+        assert metrics.total_messages == 3
+        assert metrics.total_hops == 3
+        assert metrics.total_bytes == 160
+        assert metrics.kind(MessageKind.INSERT).bytes == 150
+
+    def test_per_operation_stats(self):
+        metrics = NetworkMetrics()
+        metrics.finish_operation(MessageKind.INSERT, 3)
+        metrics.finish_operation(MessageKind.INSERT, 5)
+        assert metrics.kind(MessageKind.INSERT).per_op_hops.mean == 4.0
+
+    def test_snapshot(self):
+        metrics = NetworkMetrics()
+        metrics.record_transmit(MessageKind.JOIN, 10)
+        snap = metrics.snapshot()
+        assert snap["join"]["messages"] == 1
+
+
+class TestNetworkFabric:
+    def test_register_and_transmit(self):
+        net = Network()
+        net.register(SimNode(1))
+        net.register(SimNode(2))
+        msg = net.transmit(1, 2, MessageKind.DATA, 64)
+        assert msg.hops == 1
+        assert net.metrics.total_bytes == 64
+        assert net.energy.total > 0
+
+    def test_duplicate_registration_rejected(self):
+        net = Network()
+        net.register(SimNode(1))
+        with pytest.raises(ValidationError):
+            net.register(SimNode(1))
+
+    def test_unknown_nodes_rejected(self):
+        net = Network()
+        net.register(SimNode(1))
+        with pytest.raises(ValidationError):
+            net.transmit(1, 99, MessageKind.DATA, 10)
+        with pytest.raises(ValidationError):
+            net.transmit(99, 1, MessageKind.DATA, 10)
+
+    def test_scheduled_delivery(self):
+        net = Network(hop_latency=0.5)
+        net.register(SimNode(1))
+        net.register(SimNode(2))
+        delivered = []
+        net.transmit(1, 2, MessageKind.DATA, 8, deliver=delivered.append)
+        assert delivered == []
+        net.scheduler.run()
+        assert len(delivered) == 1
+        assert net.scheduler.now == 0.5
+
+    def test_energy_split_between_endpoints(self):
+        net = Network()
+        net.register(SimNode(1))
+        net.register(SimNode(2))
+        net.transmit(1, 2, MessageKind.DATA, 100)
+        tx = net.energy.model.tx_cost(100)
+        rx = net.energy.model.rx_cost(100)
+        assert net.energy.node_energy(1) == tx
+        assert net.energy.node_energy(2) == rx
+
+    def test_negative_size_rejected(self):
+        net = Network()
+        net.register(SimNode(1))
+        net.register(SimNode(2))
+        with pytest.raises(ValidationError):
+            net.transmit(1, 2, MessageKind.DATA, -5)

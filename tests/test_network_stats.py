@@ -1,0 +1,47 @@
+"""Tests for the network diagnostics API."""
+
+import json
+
+import numpy as np
+
+from repro.core.network import HyperMConfig, HyperMNetwork
+
+
+class TestStats:
+    def _network(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=3, n_clusters=3), rng=0)
+        for p in range(4):
+            net.add_peer(rng.random((15, 16)), np.arange(p * 15, (p + 1) * 15))
+        net.publish_all()
+        return net
+
+    def test_structure(self, rng):
+        stats = self._network(rng).stats()
+        assert stats["peers"] == 4
+        assert stats["online_peers"] == 4
+        assert stats["total_items"] == 60
+        assert set(stats["levels"]) == {"A", "D0", "D1"}
+        for level_stats in stats["levels"].values():
+            assert level_stats["nodes"] == 4
+            assert level_stats["distinct_spheres"] >= 4
+            assert level_stats["replication_factor"] >= 1.0
+        assert stats["fabric"]["hops"] > 0
+        assert stats["fabric"]["energy"] > 0
+
+    def test_json_safe(self, rng):
+        json.dumps(self._network(rng).stats())
+
+    def test_reflects_churn(self, rng):
+        net = self._network(rng)
+        net.remove_peer(2)
+        stats = net.stats()
+        assert stats["online_peers"] == 3
+        assert stats["peers"] == 4
+
+    def test_unpublished_network(self, rng):
+        net = HyperMNetwork(16, HyperMConfig(levels_used=2, n_clusters=2), rng=0)
+        net.add_peer(rng.random((5, 16)))
+        stats = net.stats()
+        for level_stats in stats["levels"].values():
+            assert level_stats["stored_entries"] == 0
+            assert level_stats["replication_factor"] == 0.0

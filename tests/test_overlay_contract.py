@@ -1,0 +1,122 @@
+"""The Overlay contract, verified uniformly across all four substrates.
+
+Hyper-M only relies on the :class:`repro.overlay.base.Overlay` interface;
+these parametrised tests pin the behaviour every substrate must share, so
+a new overlay implementation can be validated by adding one line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.messages import MessageKind
+from repro.overlay import BatonNetwork, CANNetwork, RingNetwork, VBITree
+from repro.overlay.base import Overlay
+
+FACTORIES = [CANNetwork, BatonNetwork, VBITree, RingNetwork]
+
+
+@pytest.fixture(params=FACTORIES, ids=lambda f: f.__name__)
+def overlay(request):
+    net = request.param(2, rng=42)
+    net.grow(12)
+    return net
+
+
+class TestContract:
+    def test_is_overlay(self, overlay):
+        assert isinstance(overlay, Overlay)
+        assert overlay.dimensionality == 2
+        assert len(overlay.node_ids) == 12
+
+    def test_insert_returns_receipt(self, overlay):
+        receipt = overlay.insert(overlay.node_ids[0], [0.4, 0.6], "v")
+        assert receipt.owner in overlay.node_ids
+        assert receipt.routing_hops >= 0
+        assert receipt.total_hops == receipt.routing_hops + receipt.replicas
+
+    def test_lookup_roundtrip(self, overlay):
+        overlay.insert(overlay.node_ids[1], [0.25, 0.75], "payload")
+        receipt = overlay.lookup(overlay.node_ids[5], [0.25, 0.75])
+        assert "payload" in [e.value for e in receipt.entries]
+
+    def test_lookup_from_every_node(self, overlay):
+        overlay.insert(overlay.node_ids[0], [0.5, 0.5], "x")
+        for start in overlay.node_ids:
+            receipt = overlay.lookup(start, [0.5, 0.5])
+            assert any(e.value == "x" for e in receipt.entries), start
+
+    def test_range_query_completeness(self, overlay, rng):
+        points = rng.random((50, 2))
+        for i, p in enumerate(points):
+            overlay.insert(overlay.node_ids[i % 12], p, i)
+        center = np.array([0.5, 0.5])
+        radius = 0.3
+        receipt = overlay.range_query(overlay.node_ids[0], center, radius)
+        got = {e.value for e in receipt.entries if isinstance(e.value, int)}
+        want = {
+            i
+            for i, p in enumerate(points)
+            if np.linalg.norm(p - center) <= radius - 1e-9
+        }
+        assert want <= got
+
+    def test_sphere_entries_found_at_offset_queries(self, overlay):
+        overlay.insert(
+            overlay.node_ids[2], [0.5, 0.5], "sphere", radius=0.2
+        )
+        # Query near the sphere's edge, away from its centre.
+        receipt = overlay.range_query(
+            overlay.node_ids[7], np.array([0.66, 0.5]), 0.05
+        )
+        assert any(e.value == "sphere" for e in receipt.entries)
+
+    def test_zero_radius_range_query(self, overlay):
+        overlay.insert(overlay.node_ids[3], [0.3, 0.3], "pt")
+        receipt = overlay.range_query(
+            overlay.node_ids[0], np.array([0.3, 0.3]), 0.0
+        )
+        assert any(e.value == "pt" for e in receipt.entries)
+
+    def test_traffic_is_charged(self, overlay):
+        before = overlay.fabric.metrics.total_messages
+        overlay.insert(overlay.node_ids[0], [0.9, 0.1], "x")
+        overlay.range_query(overlay.node_ids[0], np.array([0.2, 0.2]), 0.2)
+        assert overlay.fabric.metrics.total_messages >= before
+
+    def test_insert_operation_metrics(self, overlay):
+        overlay.insert(overlay.node_ids[0], [0.7, 0.7], "x")
+        ops = overlay.fabric.metrics.kind(MessageKind.INSERT).per_op_hops
+        assert ops.count >= 1
+
+    def test_loads_accounting(self, overlay, rng):
+        for i in range(20):
+            overlay.insert(overlay.node_ids[i % 12], rng.random(2), i)
+        loads = overlay.loads()
+        assert set(loads) == set(overlay.node_ids)
+        assert sum(loads.values()) >= 20
+
+    def test_leave_preserves_entries(self, overlay, rng):
+        points = rng.random((30, 2))
+        for i, p in enumerate(points):
+            overlay.insert(overlay.node_ids[i % 12], p, i)
+        for __ in range(4):
+            overlay.leave(overlay.node_ids[-1])
+        held = set()
+        for nid in overlay.node_ids:
+            for entry in overlay.node(nid).store:
+                if isinstance(entry.value, int):
+                    held.add(entry.value)
+        assert held == set(range(30))
+
+    def test_join_after_leave(self, overlay):
+        overlay.leave(overlay.node_ids[0])
+        new_id = overlay.join()
+        assert new_id in overlay.node_ids
+        receipt = overlay.insert(new_id, [0.1, 0.9], "post-churn")
+        assert receipt.owner in overlay.node_ids
+
+    def test_out_of_cube_insert_rejected(self, overlay):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            overlay.insert(overlay.node_ids[0], [1.4, 0.2], "x")

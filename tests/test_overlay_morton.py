@@ -1,0 +1,100 @@
+"""Direct tests for the shared Morton-overlay machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.morton import (
+    MortonNode,
+    bits_per_dim,
+    covering_intervals,
+    morton_key,
+)
+
+
+class TestBitsPerDim:
+    def test_one_dim_gets_max(self):
+        assert bits_per_dim(1) == 16
+
+    def test_high_dim_floors_at_three(self):
+        assert bits_per_dim(64) == 3
+        assert bits_per_dim(512) == 3
+
+    def test_total_bits_bounded(self):
+        for dim in (1, 2, 4, 8):
+            assert dim * bits_per_dim(dim) <= 32
+
+
+class TestMortonKey:
+    @given(
+        x=st.floats(min_value=0.0, max_value=1.0),
+        y=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_in_unit_interval(self, x, y):
+        key = morton_key(np.array([x, y]), 8)
+        assert 0.0 <= key < 1.0
+
+    def test_monotone_in_one_dim(self):
+        keys = [morton_key(np.array([v]), 10) for v in np.linspace(0, 1, 50)]
+        assert keys == sorted(keys)
+
+    def test_first_dim_most_significant(self):
+        low = morton_key(np.array([0.1, 0.9]), 8)
+        high = morton_key(np.array([0.9, 0.1]), 8)
+        assert high > low
+
+
+class TestCoveringIntervals:
+    def test_small_box_few_intervals(self):
+        intervals = covering_intervals(
+            np.array([0.4, 0.4]), np.array([0.45, 0.45]), 8
+        )
+        assert 1 <= len(intervals) <= 64
+
+    def test_total_measure_at_least_box(self):
+        lows = np.array([0.2, 0.3])
+        highs = np.array([0.5, 0.6])
+        intervals = covering_intervals(lows, highs, 8)
+        measure = sum(hi - lo for lo, hi in intervals)
+        box_volume = float(np.prod(highs - lows))
+        assert measure >= box_volume - 1e-9  # a cover, never an undercount
+
+    def test_degenerate_point_box(self):
+        p = np.array([0.5, 0.5])
+        intervals = covering_intervals(p, p, 8)
+        key = morton_key(p, 8)
+        assert any(lo <= key < hi + 1e-12 for lo, hi in intervals)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15)
+    def test_max_cells_budget_respected(self, seed):
+        rng = np.random.default_rng(seed)
+        lows = rng.random(2) * 0.6
+        highs = np.minimum(lows + rng.random(2) * 0.4, 1.0)
+        intervals = covering_intervals(lows, highs, 8, max_cells=16)
+        # Merged intervals never exceed the cell budget.
+        assert len(intervals) <= 16 * 4
+
+
+class TestMortonNode:
+    def test_absorb_dedupes_shared_objects(self):
+        from repro.overlay.base import StoredEntry
+
+        node = MortonNode(1)
+        entry = StoredEntry(key=np.array([0.5]), radius=0.0, value="x")
+        node.add_entry(entry)
+        node.absorb_entries([entry, entry])
+        assert node.load == 1
+
+    def test_drop_entries(self):
+        from repro.overlay.base import StoredEntry
+
+        node = MortonNode(1)
+        for v in range(5):
+            node.add_entry(
+                StoredEntry(key=np.array([v / 10]), radius=0.0, value=v)
+            )
+        removed = node.drop_entries(lambda e: e.value % 2 == 0)
+        assert removed == 3
+        assert node.load == 2

@@ -1,0 +1,151 @@
+"""Tests for CAN zones: geometry, splitting, neighbour relation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.overlay.can.zone import Zone
+
+
+def make_zone(lows, highs):
+    return Zone(np.asarray(lows, dtype=float), np.asarray(highs, dtype=float))
+
+
+class TestZoneBasics:
+    def test_full(self):
+        z = Zone.full(3)
+        assert z.volume == 1.0
+        assert z.contains(np.array([0.5, 0.5, 0.5]))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            make_zone([0.5, 0.0], [0.4, 1.0])
+        with pytest.raises(ValidationError):
+            make_zone([-0.1, 0.0], [0.5, 1.0])
+        with pytest.raises(ValidationError):
+            Zone.full(0)
+
+    def test_contains_half_open(self):
+        z = make_zone([0.0, 0.0], [0.5, 0.5])
+        assert z.contains(np.array([0.0, 0.0]))
+        assert not z.contains(np.array([0.5, 0.0]))
+
+    def test_contains_closed_at_outer_face(self):
+        z = make_zone([0.5, 0.5], [1.0, 1.0])
+        assert z.contains(np.array([1.0, 1.0]))
+
+    def test_center_and_extent(self):
+        z = make_zone([0.0, 0.5], [0.5, 1.0])
+        assert np.allclose(z.center, [0.25, 0.75])
+        assert np.allclose(z.extent(), [0.5, 0.5])
+
+
+class TestZoneSplit:
+    def test_split_longest_side(self):
+        z = make_zone([0.0, 0.0], [1.0, 0.5])
+        lower, upper = z.split()
+        assert np.allclose(lower.highs, [0.5, 0.5])
+        assert np.allclose(upper.lows, [0.5, 0.0])
+
+    def test_split_explicit_dim(self):
+        z = Zone.full(2)
+        lower, upper = z.split(1)
+        assert np.allclose(lower.highs, [1.0, 0.5])
+
+    def test_split_preserves_volume(self):
+        z = Zone.full(3)
+        lower, upper = z.split()
+        assert np.isclose(lower.volume + upper.volume, z.volume)
+
+    def test_split_halves_are_disjoint_and_cover(self, rng):
+        z = make_zone([0.2, 0.3], [0.8, 0.9])
+        lower, upper = z.split()
+        for __ in range(100):
+            p = rng.uniform([0.2, 0.3], [0.8, 0.9])
+            assert lower.contains(p) != upper.contains(p) or (
+                not z.contains(p)
+            )
+
+    def test_bad_dim(self):
+        with pytest.raises(ValidationError):
+            Zone.full(2).split(5)
+
+
+class TestZoneDistances:
+    def test_euclidean_inside_is_zero(self):
+        z = make_zone([0.0, 0.0], [0.5, 0.5])
+        assert z.euclidean_distance_to(np.array([0.25, 0.25])) == 0.0
+
+    def test_euclidean_outside(self):
+        z = make_zone([0.0, 0.0], [0.5, 0.5])
+        assert np.isclose(
+            z.euclidean_distance_to(np.array([1.0, 0.25])), 0.5
+        )
+
+    def test_torus_wraps(self):
+        z = make_zone([0.0, 0.0], [0.1, 1.0])
+        # Point at x=0.95: direct gap 0.85, wrapped gap 0.05.
+        assert np.isclose(
+            z.torus_distance_to(np.array([0.95, 0.5])), 0.05
+        )
+
+    def test_torus_never_exceeds_euclidean(self, rng):
+        z = make_zone([0.3, 0.1], [0.6, 0.4])
+        for __ in range(50):
+            p = rng.random(2)
+            assert z.torus_distance_to(p) <= z.euclidean_distance_to(p) + 1e-12
+
+    def test_intersects_sphere(self):
+        z = make_zone([0.0, 0.0], [0.5, 0.5])
+        assert z.intersects_sphere(np.array([0.7, 0.25]), 0.3)
+        assert not z.intersects_sphere(np.array([0.9, 0.9]), 0.3)
+
+
+class TestNeighborRelation:
+    def test_abutting_zones_are_neighbors(self):
+        a = make_zone([0.0, 0.0], [0.5, 1.0])
+        b = make_zone([0.5, 0.0], [1.0, 1.0])
+        assert a.is_neighbor(b)
+        assert b.is_neighbor(a)
+
+    def test_corner_touch_is_not_neighbor(self):
+        a = make_zone([0.0, 0.0], [0.5, 0.5])
+        b = make_zone([0.5, 0.5], [1.0, 1.0])
+        assert not a.is_neighbor(b)
+
+    def test_disjoint_not_neighbors(self):
+        # Separated in dim 0 and away from the torus seam on both sides.
+        a = make_zone([0.1, 0.0], [0.3, 1.0])
+        b = make_zone([0.5, 0.0], [0.9, 1.0])
+        assert not a.is_neighbor(b)
+
+    def test_wraparound_neighbors(self):
+        a = make_zone([0.0, 0.0], [0.25, 1.0])
+        b = make_zone([0.75, 0.0], [1.0, 1.0])
+        assert a.is_neighbor(b)
+
+    def test_partial_overlap_abut(self):
+        a = make_zone([0.0, 0.0], [0.5, 0.5])
+        b = make_zone([0.5, 0.25], [1.0, 0.75])
+        assert a.is_neighbor(b)
+
+    def test_one_dimensional(self):
+        a = make_zone([0.0], [0.5])
+        b = make_zone([0.5], [1.0])
+        assert a.is_neighbor(b)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            Zone.full(2).is_neighbor(Zone.full(3))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_split_children_are_neighbors(self, seed):
+        rng = np.random.default_rng(seed)
+        lows = rng.random(2) * 0.4
+        highs = lows + 0.1 + rng.random(2) * 0.4
+        highs = np.minimum(highs, 1.0)
+        z = Zone(lows, highs)
+        lower, upper = z.split()
+        assert lower.is_neighbor(upper)

@@ -1,0 +1,75 @@
+"""Tests for the multi-seed repetition helper."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.repeats import repeat_experiment
+from repro.exceptions import ValidationError
+
+
+def fake_runner(*, rng, offset=0.0):
+    generator = np.random.default_rng(rng)
+    return {"a": float(generator.random()) + offset, "b": 2.0}
+
+
+class TestRepeatExperiment:
+    def test_aggregates(self):
+        out = repeat_experiment(
+            fake_runner,
+            seeds=[1, 2, 3, 4],
+            extract=lambda result: result,
+        )
+        assert set(out) == {"a", "b"}
+        assert out["a"].n == 4
+        assert 0.0 < out["a"].mean < 1.0
+        assert out["b"].std == 0.0
+        assert out["b"].mean == 2.0
+
+    def test_kwargs_forwarded(self):
+        out = repeat_experiment(
+            fake_runner,
+            seeds=[1, 2],
+            extract=lambda result: result,
+            offset=10.0,
+        )
+        assert out["a"].mean > 10.0
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValidationError):
+            repeat_experiment(
+                fake_runner, seeds=[1], extract=lambda r: r
+            )
+
+    def test_inconsistent_keys_rejected(self):
+        calls = {"n": 0}
+
+        def flaky(*, rng):
+            calls["n"] += 1
+            return {"a": 1.0} if calls["n"] == 1 else {"z": 1.0}
+
+        with pytest.raises(ValidationError, match="inconsistent"):
+            repeat_experiment(flaky, seeds=[1, 2], extract=lambda r: r)
+
+    def test_formatted(self):
+        out = repeat_experiment(
+            fake_runner, seeds=[1, 2, 3], extract=lambda r: r
+        )
+        assert "±" in out["a"].formatted()
+
+    @pytest.mark.slow
+    def test_real_runner_fig8b(self):
+        from repro.evaluation.dissemination import run_fig8b
+
+        out = repeat_experiment(
+            run_fig8b,
+            seeds=[1, 2, 3],
+            extract=lambda rows: {
+                "hyperm_final": rows[-1].hyperm_hops_per_item,
+                "can_final": rows[-1].can_hops_per_item,
+            },
+            n_peers=8,
+            items_per_peer_sweep=(40, 200),
+            baseline_sample=30,
+        )
+        # The headline shape holds in the mean across seeds.
+        assert out["hyperm_final"].mean < out["can_final"].mean

@@ -1,0 +1,49 @@
+"""Tests for result-sized response traffic accounting."""
+
+import numpy as np
+
+from repro.net.messages import MessageKind
+
+
+class TestResponseTraffic:
+    def test_response_bytes_scale_with_results(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        network = wl.network
+        query = wl.ground_truth.data[0]
+
+        def data_bytes():
+            return network.fabric.metrics.kind(MessageKind.DATA).bytes
+
+        before = data_bytes()
+        small = network.range_query(query, 0.05, max_peers=4)
+        small_bytes = data_bytes() - before
+        before = data_bytes()
+        large = network.range_query(query, 0.30, max_peers=4)
+        large_bytes = data_bytes() - before
+        assert len(large.items) > len(small.items)
+        assert large_bytes > small_bytes
+
+    def test_empty_responses_still_acknowledged(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        network = wl.network
+        # A query in an empty corner: contacted peers return nothing but
+        # the acknowledgement costs header bytes.
+        query = np.full(32, 0.93)
+        before = network.fabric.metrics.kind(MessageKind.DATA).messages
+        result = network.range_query(query, 0.01, max_peers=3)
+        after = network.fabric.metrics.kind(MessageKind.DATA).messages
+        contacted_remote = [
+            p for p in result.peers_contacted
+            if network.overlay_node(network.levels[0], p)
+            != network.overlay_node(
+                network.levels[0], next(iter(network.peers))
+            )
+        ]
+        assert after - before == len(contacted_remote)
+
+    def test_knn_charges_responses(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        network = wl.network
+        before = network.fabric.metrics.kind(MessageKind.DATA).bytes
+        network.knn_query(wl.ground_truth.data[5], 8, c=2.0)
+        assert network.fabric.metrics.kind(MessageKind.DATA).bytes > before

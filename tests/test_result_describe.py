@@ -1,0 +1,50 @@
+"""Tests for the query-explanation (``describe``) API."""
+
+import numpy as np
+
+
+class TestDescribe:
+    def test_range_describe_mentions_key_facts(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        result = wl.network.range_query(wl.ground_truth.data[0], 0.15,
+                                        max_peers=3)
+        text = result.describe()
+        assert "range query" in text
+        assert "index traffic" in text
+        assert "candidate peers" in text
+        for peer_id in result.peers_contacted[:3]:
+            assert f"peer {peer_id:>4}" in text
+
+    def test_knn_describe_shows_radii(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        result = wl.network.knn_query(wl.ground_truth.data[0], 5)
+        text = result.describe()
+        assert "k-NN query (k=5)" in text
+        assert "estimated per-level radii" in text
+        assert "A:" in text
+
+    def test_describe_reports_failed_contacts(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        network = wl.network
+        # Take one high-scoring peer offline; its contact should fail.
+        result = network.range_query(wl.ground_truth.data[0], 0.2)
+        if not result.peers_contacted:
+            return
+        victim = result.peers_contacted[0]
+        origin = next(
+            p for p in network.peers
+            if p != victim and network.peers[p].online
+        )
+        network.peers[victim].online = False
+        retry = network.range_query(
+            wl.ground_truth.data[0], 0.2, origin_peer=origin
+        )
+        if retry.failed_contacts:
+            assert "failed" in retry.describe()
+            assert "unreachable" in retry.describe(top=len(network.peers))
+
+    def test_describe_top_limits_rows(self, tiny_histogram_workload):
+        wl = tiny_histogram_workload
+        result = wl.network.range_query(wl.ground_truth.data[0], 0.2)
+        short = result.describe(top=1)
+        assert short.count("peer ") <= 3  # header line + one row

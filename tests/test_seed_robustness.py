@@ -1,0 +1,45 @@
+"""Shape robustness across seeds.
+
+The benchmarks assert the paper's shapes at fixed seeds; these tests
+verify the two headline shapes are not seed artefacts by sweeping seeds
+at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.dissemination import run_fig8b
+from repro.evaluation.effectiveness import run_fig10a
+
+
+@pytest.mark.slow
+class TestShapeRobustness:
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_fig8b_amortisation_shape(self, seed):
+        rows = run_fig8b(
+            n_peers=10,
+            items_per_peer_sweep=(40, 160, 400),
+            baseline_sample=40,
+            rng=seed,
+        )
+        hyperm = [r.hyperm_hops_per_item for r in rows]
+        # Monotone amortisation at every seed…
+        assert hyperm == sorted(hyperm, reverse=True)
+        # …and Hyper-M beats CAN at the largest volume.
+        assert rows[-1].hyperm_hops_per_item < rows[-1].can_hops_per_item
+
+    @pytest.mark.parametrize("seed", [5, 15])
+    def test_fig10a_recall_monotone_in_budget(self, seed):
+        out = run_fig10a(
+            n_peers=10,
+            n_objects=50,
+            views_per_object=8,
+            cluster_counts=(10,),
+            peers_contacted_sweep=(1, 4, 10),
+            n_queries=8,
+            rng=seed,
+        )
+        series = out[10]
+        means = [p.mean for p in series]
+        assert means == sorted(means)
+        assert means[-1] > 0.8

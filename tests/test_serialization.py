@@ -1,0 +1,126 @@
+"""Tests for summary persistence (JSON round-trips, tamper rejection)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.clustering.summaries import summarize_peer_data
+from repro.core.network import HyperMConfig, HyperMNetwork
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    load_summary,
+    save_summary,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def summary(rng):
+    return summarize_peer_data(
+        rng.random((40, 16)), n_clusters=4, levels_used=3, rng=0
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, summary):
+        restored = summary_from_dict(summary_to_dict(summary))
+        assert restored.dimensionality == summary.dimensionality
+        assert list(restored.levels) == list(summary.levels)
+        for level in summary.levels:
+            assert len(restored.spheres[level]) == len(summary.spheres[level])
+            for a, b in zip(restored.spheres[level], summary.spheres[level]):
+                assert np.allclose(a.centroid, b.centroid)
+                assert a.radius == b.radius
+                assert a.items == b.items
+            assert np.array_equal(
+                restored.labels[level], summary.labels[level]
+            )
+
+    def test_file_roundtrip(self, summary, tmp_path):
+        path = tmp_path / "summary.json"
+        save_summary(summary, path)
+        restored = load_summary(path)
+        assert restored.total_spheres == summary.total_spheres
+
+    def test_payload_is_plain_json(self, summary):
+        text = json.dumps(summary_to_dict(summary))
+        assert "centroid" in text
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, summary):
+        payload = summary_to_dict(summary)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValidationError, match="format version"):
+            summary_from_dict(payload)
+
+    def test_missing_field_rejected(self, summary):
+        payload = summary_to_dict(summary)
+        del payload["spheres"]
+        with pytest.raises(ValidationError, match="malformed"):
+            summary_from_dict(payload)
+
+    def test_bad_level_token_rejected(self, summary):
+        payload = summary_to_dict(summary)
+        payload["levels"][0] = "Z9"
+        with pytest.raises(ValidationError, match="level token"):
+            summary_from_dict(payload)
+
+    def test_dimension_tamper_rejected(self, summary):
+        payload = summary_to_dict(summary)
+        # Corrupt a sphere's centroid to the wrong dimensionality.
+        payload["spheres"]["D1"][0]["centroid"] = [0.5]
+        with pytest.raises(ValidationError):
+            summary_from_dict(payload)
+
+    def test_non_json_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_summary(path)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            summary_from_dict([1, 2, 3])
+
+
+class TestPrebuiltPublication:
+    def test_publish_with_restored_summary(self, rng, tmp_path):
+        config = HyperMConfig(levels_used=3, n_clusters=4)
+        data = rng.random((40, 16))
+
+        # Session 1: build and persist.
+        summary = summarize_peer_data(
+            data, n_clusters=4, levels_used=3, rng=0
+        )
+        path = tmp_path / "peer.json"
+        save_summary(summary, path)
+
+        # Session 2: fresh network, instant publication.
+        net = HyperMNetwork(16, config, rng=1)
+        peer = net.add_peer(data)
+        report = net.publish_peer(peer.peer_id, summary=load_summary(path))
+        assert report.spheres_inserted == summary.total_spheres
+        assert peer.summary is not None
+
+        # And queries over the restored summaries work.
+        result = net.range_query(data[0], 0.5)
+        assert any(item.distance <= 1e-9 for item in result.items)
+
+    def test_mismatched_summary_rejected(self, rng):
+        config = HyperMConfig(levels_used=3, n_clusters=4)
+        net = HyperMNetwork(16, config, rng=1)
+        peer = net.add_peer(rng.random((10, 16)))
+        wrong_dim = summarize_peer_data(
+            rng.random((10, 32)), n_clusters=2, levels_used=3, rng=0
+        )
+        with pytest.raises(ValidationError, match="32-d"):
+            net.publish_peer(peer.peer_id, summary=wrong_dim)
+        wrong_levels = summarize_peer_data(
+            rng.random((10, 16)), n_clusters=2, levels_used=2, rng=0
+        )
+        with pytest.raises(ValidationError, match="levels"):
+            net.publish_peer(peer.peer_id, summary=wrong_levels)

@@ -1,0 +1,114 @@
+"""Tests for the whole-session MANET simulator."""
+
+import pytest
+
+from repro.core.network import HyperMConfig
+from repro.evaluation.session import (
+    SessionConfig,
+    SessionSimulator,
+)
+from repro.exceptions import ValidationError
+
+
+def quick_config(**overrides):
+    base = dict(
+        duration=120.0,
+        n_peers=8,
+        query_rate=0.2,
+        departure_rate=0.02,
+        arrival_rate=0.02,
+        sample_every=30.0,
+    )
+    base.update(overrides)
+    return SessionConfig(**base)
+
+
+class TestSessionConfig:
+    def test_defaults_valid(self):
+        SessionConfig()
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValidationError):
+            SessionConfig(duration=0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValidationError):
+            SessionConfig(query_rate=-1)
+
+    def test_too_few_peers(self):
+        with pytest.raises(ValidationError):
+            SessionConfig(n_peers=1)
+
+
+class TestSessionRun:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        sim = SessionSimulator(
+            quick_config(),
+            hyperm=HyperMConfig(levels_used=3, n_clusters=4),
+            rng=0,
+        )
+        return sim.run()
+
+    def test_queries_ran(self, outcome):
+        assert outcome.queries_run > 5
+
+    def test_recall_reasonable(self, outcome):
+        # A contact budget of 6 over 8 peers keeps recall high.
+        assert outcome.mean_recall > 0.5
+
+    def test_timeline_sampled(self, outcome):
+        assert len(outcome.samples) >= 3
+        times = [s.time for s in outcome.samples]
+        assert times == sorted(times)
+        assert all(s.online_peers >= 2 for s in outcome.samples)
+
+    def test_traffic_monotone(self, outcome):
+        hops = [s.total_hops for s in outcome.samples]
+        assert hops == sorted(hops)
+        energy = [s.total_energy for s in outcome.samples]
+        assert energy == sorted(energy)
+
+    def test_reproducible(self):
+        a = SessionSimulator(
+            quick_config(duration=60.0),
+            hyperm=HyperMConfig(levels_used=2, n_clusters=3),
+            rng=7,
+        ).run()
+        b = SessionSimulator(
+            quick_config(duration=60.0),
+            hyperm=HyperMConfig(levels_used=2, n_clusters=3),
+            rng=7,
+        ).run()
+        assert a.queries_run == b.queries_run
+        assert a.recalls == b.recalls
+
+
+class TestChurnySession:
+    def test_departures_and_returns(self):
+        sim = SessionSimulator(
+            quick_config(
+                duration=400.0,
+                departure_rate=0.05,
+                arrival_rate=0.05,
+                query_rate=0.1,
+            ),
+            hyperm=HyperMConfig(levels_used=2, n_clusters=3),
+            rng=3,
+        )
+        outcome = sim.run()
+        assert outcome.departures > 0
+        # Returned peers republish and serve queries again.
+        if outcome.arrivals:
+            assert outcome.mean_recall > 0.2
+
+    def test_no_churn_session(self):
+        sim = SessionSimulator(
+            quick_config(departure_rate=0.0, arrival_rate=0.0),
+            hyperm=HyperMConfig(levels_used=2, n_clusters=3),
+            rng=4,
+        )
+        outcome = sim.run()
+        assert outcome.departures == 0
+        assert outcome.arrivals == 0
+        assert outcome.queries_run > 0

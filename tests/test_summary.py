@@ -1,0 +1,44 @@
+"""Tests for the one-call full-report generator."""
+
+import pytest
+
+from repro.evaluation.summary import (
+    ExperimentReport,
+    render_markdown,
+    run_full_report,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_full_report(scale="quick", rng=3)
+
+
+@pytest.mark.slow
+class TestFullReport:
+    def test_every_experiment_present(self, reports):
+        names = [r.name for r in reports]
+        assert names == [
+            "fig8a", "fig8b", "fig8c", "fig9", "fig10a",
+            "fig10b", "cknob", "fig10c", "fig11",
+        ]
+
+    def test_records_are_json_safe(self, reports):
+        import json
+
+        json.dumps([r.records for r in reports])
+
+    def test_tables_rendered(self, reports):
+        for report in reports:
+            assert report.table
+            assert "|" in report.table
+
+    def test_markdown_rendering(self, reports):
+        text = render_markdown(reports)
+        assert text.startswith("# Hyper-M")
+        assert text.count("## ") == len(reports)
+        assert "Figure 10a" in text
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_full_report(scale="huge")

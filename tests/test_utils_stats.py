@@ -1,0 +1,74 @@
+"""Unit and property tests for repro.utils.stats."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import RunningStats, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.min == s.max == 5.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_matches_numpy(self, values):
+        s = RunningStats()
+        s.extend(values)
+        arr = np.asarray(values)
+        assert s.count == arr.size
+        assert np.isclose(s.mean, arr.mean(), atol=1e-6)
+        assert np.isclose(s.variance, arr.var(), atol=1e-4 * max(1.0, arr.var()))
+        assert s.min == arr.min()
+        assert s.max == arr.max()
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=30),
+        st.lists(finite_floats, min_size=1, max_size=30),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        merged = a.merge(b)
+        both = RunningStats()
+        both.extend(left + right)
+        assert merged.count == both.count
+        assert np.isclose(merged.mean, both.mean, atol=1e-6)
+        assert np.isclose(merged.variance, both.variance, rtol=1e-6, atol=1e-6)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        empty = RunningStats()
+        assert a.merge(empty).mean == a.mean
+        assert empty.merge(a).count == 2
+
+
+class TestSummarize:
+    def test_empty(self):
+        out = summarize([])
+        assert out["count"] == 0
+
+    def test_basic(self):
+        out = summarize([1.0, 2.0, 3.0])
+        assert out["count"] == 3
+        assert out["mean"] == 2.0
+        assert out["min"] == 1.0
+        assert out["max"] == 3.0
+        assert "p50" in out

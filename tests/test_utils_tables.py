@@ -1,0 +1,37 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert lines[1].count("|") == 3
+        assert "2.500" in out
+        assert "0.125" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_and_str_cells(self):
+        out = format_table(["a", "b"], [[True, "hi"]])
+        assert "True" in out and "hi" in out
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [[1], [100]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1

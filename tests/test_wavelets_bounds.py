@@ -1,0 +1,140 @@
+"""Theorem 3.1 / 4.1 bounds and key-space mapping tests.
+
+The property tests here are the heart of the reproduction's correctness
+story: points inside a sphere must map inside the theorem's scaled sphere
+at every level, and the per-level thresholds must never dismiss a true
+range-query answer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.wavelets.bounds import (
+    coefficient_interval,
+    from_unit_cube,
+    key_space_radius,
+    radius_scale,
+    theorem41_inflation,
+    to_unit_cube,
+)
+from repro.wavelets.multiresolution import Level, decompose, levels_for
+
+
+def unit_vec(dim):
+    return arrays(
+        np.float64,
+        (dim,),
+        elements=st.floats(min_value=0.0, max_value=1.0, width=64),
+    )
+
+
+class TestRadiusScale:
+    def test_paper_formula_for_details(self):
+        # r / sqrt(2^(log2 d - l)) for detail level l
+        d = 16
+        for l in range(4):
+            expected = 1.0 / math.sqrt(2 ** (math.log2(d) - l))
+            assert np.isclose(radius_scale(d, Level.detail(l)), expected)
+
+    def test_approximation_equals_d0(self):
+        assert radius_scale(64, Level.approximation()) == radius_scale(
+            64, Level.detail(0)
+        )
+
+    def test_scale_increases_with_level(self):
+        scales = [radius_scale(64, l) for l in levels_for(64)]
+        assert scales == sorted(scales)
+
+    def test_finest_detail_is_inv_sqrt2(self):
+        assert np.isclose(radius_scale(64, Level.detail(5)), 1 / math.sqrt(2))
+
+    def test_invalid_level_for_dim(self):
+        with pytest.raises(ValueError):
+            radius_scale(4, Level.detail(5))
+
+
+class TestTheorem31Property:
+    """Theorem 3.1: points within distance r of q in the original space stay
+    within r * scale(level) of q's projection in every subspace."""
+
+    @given(unit_vec(16), unit_vec(16))
+    def test_all_levels_bounded(self, q, x):
+        r = float(np.linalg.norm(x - q))
+        dq = decompose(q)
+        dx = decompose(x)
+        for level in levels_for(16):
+            scale = radius_scale(16, level)
+            dist_l = float(np.linalg.norm(dx[level] - dq[level]))
+            assert dist_l <= r * scale + 1e-9
+
+    @given(unit_vec(8))
+    def test_bound_is_tight_for_constant_offset(self, q):
+        """A constant offset vector achieves the approximation bound exactly."""
+        offset = 0.1
+        x = np.clip(q + offset, 0.0, 1.0)
+        if not np.allclose(x - q, offset):
+            return  # clipped: the offset is no longer constant
+        r = float(np.linalg.norm(x - q))
+        level = Level.approximation()
+        dq, dx = decompose(q), decompose(x)
+        dist = float(np.linalg.norm(dx[level] - dq[level]))
+        assert np.isclose(dist, r * radius_scale(8, level), rtol=1e-9)
+
+
+class TestTheorem41:
+    def test_inflation_formula(self):
+        assert np.isclose(theorem41_inflation(4), math.sqrt(3))
+        assert np.isclose(theorem41_inflation(512), math.sqrt(10))
+
+    @given(unit_vec(16), unit_vec(16))
+    def test_per_level_survivors_are_bounded_in_original_space(self, q, x):
+        """If x passes the Theorem 3.1 threshold at every level for radius R,
+        then ||x - q|| <= R * sqrt(log2 d + 1)."""
+        dq, dx = decompose(q), decompose(x)
+        levels = levels_for(16)
+        per_level = [
+            np.linalg.norm(dx[level] - dq[level]) / radius_scale(16, level)
+            for level in levels
+        ]
+        radius_r = max(per_level)  # smallest R that passes all levels
+        true_dist = float(np.linalg.norm(x - q))
+        assert true_dist <= radius_r * theorem41_inflation(16) + 1e-9
+
+
+class TestKeySpaceMaps:
+    @pytest.mark.parametrize(
+        "level", [Level.approximation(), Level.detail(0), Level.detail(3)]
+    )
+    def test_roundtrip(self, level, rng):
+        lo, hi = coefficient_interval(level)
+        coeffs = rng.uniform(lo, hi, size=level.dimensionality)
+        keys = to_unit_cube(coeffs, level)
+        assert keys.min() >= -1e-12 and keys.max() <= 1.0 + 1e-12
+        assert np.allclose(from_unit_cube(keys, level), coeffs)
+
+    def test_intervals(self):
+        assert coefficient_interval(Level.approximation()) == (0.0, 1.0)
+        assert coefficient_interval(Level.detail(2)) == (-0.5, 0.5)
+
+    @given(unit_vec(16))
+    def test_real_coefficients_map_into_cube(self, x):
+        decomposition = decompose(x)
+        for level in levels_for(16):
+            keys = to_unit_cube(decomposition[level], level)
+            assert keys.min() >= -1e-9
+            assert keys.max() <= 1.0 + 1e-9
+
+    def test_key_space_radius_preserves_relative_distances(self, rng):
+        """The affine key map scales distances by 1/(hi-lo); the radius
+        helper must apply the same factor."""
+        level = Level.detail(2)
+        a = rng.uniform(-0.5, 0.5, size=4)
+        b = rng.uniform(-0.5, 0.5, size=4)
+        orig = np.linalg.norm(a - b)
+        mapped = np.linalg.norm(to_unit_cube(a, level) - to_unit_cube(b, level))
+        assert np.isclose(mapped, key_space_radius(orig, level))

@@ -1,0 +1,125 @@
+"""Unit and property tests for the averaging-Haar transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DimensionalityError
+from repro.wavelets.haar import (
+    haar_decompose,
+    haar_reconstruct,
+    haar_step,
+    inverse_haar_step,
+)
+
+
+def unit_vectors(dim: int):
+    """Strategy: a float vector of length ``dim`` with entries in [0, 1]."""
+    return arrays(
+        np.float64,
+        (dim,),
+        elements=st.floats(min_value=0.0, max_value=1.0, width=64),
+    )
+
+
+class TestHaarStep:
+    def test_known_values(self):
+        a, d = haar_step(np.array([1.0, 3.0, 5.0, 1.0]))
+        assert np.allclose(a, [2.0, 3.0])
+        assert np.allclose(d, [-1.0, 2.0])
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(DimensionalityError, match="even"):
+            haar_step(np.zeros(3))
+
+    def test_inverse_step_roundtrip(self):
+        x = np.array([0.2, 0.9, 0.1, 0.4])
+        assert np.allclose(inverse_haar_step(*haar_step(x)), x)
+
+    def test_inverse_shape_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            inverse_haar_step(np.zeros(2), np.zeros(3))
+
+    def test_matrix_input(self):
+        x = np.arange(12.0).reshape(3, 4)
+        a, d = haar_step(x)
+        assert a.shape == (3, 2)
+        for row in range(3):
+            ar, dr = haar_step(x[row])
+            assert np.allclose(a[row], ar)
+            assert np.allclose(d[row], dr)
+
+
+class TestHaarDecompose:
+    @given(unit_vectors(16))
+    def test_perfect_reconstruction(self, x):
+        approx, details = haar_decompose(x)
+        assert np.allclose(haar_reconstruct(approx, details), x, atol=1e-12)
+
+    @given(unit_vectors(8))
+    def test_partial_levels_roundtrip(self, x):
+        approx, details = haar_decompose(x, levels=2)
+        assert approx.shape[-1] == 2
+        assert np.allclose(haar_reconstruct(approx, details), x, atol=1e-12)
+
+    def test_detail_ordering_coarse_to_fine(self):
+        __, details = haar_decompose(np.arange(16.0))
+        assert [d.shape[-1] for d in details] == [1, 2, 4, 8]
+
+    def test_full_decomposition_approx_is_mean(self):
+        x = np.array([0.1, 0.5, 0.3, 0.9])
+        approx, __ = haar_decompose(x)
+        assert np.allclose(approx, x.mean())
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(DimensionalityError):
+            haar_decompose(np.zeros(6))
+
+    def test_rejects_too_many_levels(self):
+        with pytest.raises(DimensionalityError):
+            haar_decompose(np.zeros(4), levels=3)
+
+    def test_zero_levels_is_identity(self):
+        x = np.arange(4.0)
+        approx, details = haar_decompose(x, levels=0)
+        assert details == []
+        assert np.allclose(approx, x)
+
+    @given(unit_vectors(8), unit_vectors(8))
+    def test_linearity(self, x, y):
+        ax, dx = haar_decompose(x)
+        ay, dy = haar_decompose(y)
+        axy, dxy = haar_decompose(x + y)
+        assert np.allclose(axy, ax + ay, atol=1e-12)
+        for dl, dxl, dyl in zip(dxy, dx, dy):
+            assert np.allclose(dl, dxl + dyl, atol=1e-12)
+
+    @given(unit_vectors(16), unit_vectors(16))
+    def test_distance_contracts_by_sqrt2_per_step(self, x, y):
+        """One averaging-Haar step contracts distances by at most 1/sqrt(2)
+        in both output bands — the engine of Theorem 3.1."""
+        ax, dx = haar_step(x)
+        ay, dy = haar_step(y)
+        original = np.linalg.norm(x - y)
+        bound = original / np.sqrt(2.0) + 1e-12
+        assert np.linalg.norm(ax - ay) <= bound
+        assert np.linalg.norm(dx - dy) <= bound
+
+    @given(unit_vectors(16))
+    def test_coefficient_ranges_for_unit_cube_data(self, x):
+        approx, details = haar_decompose(x)
+        assert 0.0 - 1e-12 <= approx[0] <= 1.0 + 1e-12
+        for detail in details:
+            assert detail.min() >= -0.5 - 1e-12
+            assert detail.max() <= 0.5 + 1e-12
+
+    def test_batch_matches_individual(self, rng):
+        x = rng.random((5, 32))
+        approx, details = haar_decompose(x)
+        for row in range(5):
+            a_row, d_row = haar_decompose(x[row])
+            assert np.allclose(approx[row], a_row)
+            for batch_d, single_d in zip(details, d_row):
+                assert np.allclose(batch_d[row], single_d)

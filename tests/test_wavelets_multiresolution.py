@@ -1,0 +1,103 @@
+"""Tests for the {A, D_0, …} multiresolution subspace view."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.wavelets.multiresolution import (
+    Level,
+    decompose,
+    decompose_dataset,
+    levels_for,
+    publication_levels,
+)
+
+
+class TestLevel:
+    def test_ordering_coarse_to_fine(self):
+        levels = sorted([Level.detail(2), Level.approximation(), Level.detail(0)])
+        assert [str(l) for l in levels] == ["A", "D0", "D2"]
+
+    def test_dimensionality(self):
+        assert Level.approximation().dimensionality == 1
+        assert Level.detail(0).dimensionality == 1
+        assert Level.detail(3).dimensionality == 8
+
+    def test_str(self):
+        assert str(Level.approximation()) == "A"
+        assert str(Level.detail(5)) == "D5"
+
+    def test_negative_detail_rejected(self):
+        with pytest.raises(DimensionalityError):
+            Level.detail(-1)
+
+    def test_levels_usable_as_dict_keys(self):
+        d = {Level.approximation(): 1, Level.detail(0): 2}
+        assert d[Level.approximation()] == 1
+
+
+class TestLevelsFor:
+    def test_structure_for_16(self):
+        levels = levels_for(16)
+        assert [str(l) for l in levels] == ["A", "D0", "D1", "D2", "D3"]
+        assert [l.dimensionality for l in levels] == [1, 1, 2, 4, 8]
+
+    def test_dim_one(self):
+        assert [str(l) for l in levels_for(1)] == ["A"]
+
+    def test_dims_sum_to_original(self):
+        for d in (2, 8, 64, 512):
+            assert sum(l.dimensionality for l in levels_for(d)) == d
+
+    def test_rejects_non_power(self):
+        with pytest.raises(DimensionalityError):
+            levels_for(12)
+
+
+class TestPublicationLevels:
+    def test_paper_operating_point(self):
+        levels = publication_levels(512, 4)
+        assert [str(l) for l in levels] == ["A", "D0", "D1", "D2"]
+
+    def test_bounds(self):
+        with pytest.raises(DimensionalityError):
+            publication_levels(16, 0)
+        with pytest.raises(DimensionalityError):
+            publication_levels(16, 6)
+
+    def test_all_levels(self):
+        assert len(publication_levels(16, 5)) == 5
+
+
+class TestDecompose:
+    def test_subspace_shapes(self, rng):
+        x = rng.random(32)
+        decomposition = decompose(x)
+        for level in decomposition.levels:
+            assert decomposition[level].shape == (level.dimensionality,)
+
+    def test_reconstruct_roundtrip(self, rng):
+        x = rng.random(64)
+        assert np.allclose(decompose(x).reconstruct(), x, atol=1e-12)
+
+    def test_dataset_roundtrip(self, rng):
+        x = rng.random((10, 16))
+        decomposition = decompose_dataset(x)
+        assert np.allclose(decomposition.reconstruct(), x, atol=1e-12)
+
+    def test_dataset_shapes(self, rng):
+        x = rng.random((7, 16))
+        decomposition = decompose_dataset(x)
+        assert decomposition[Level.detail(3)].shape == (7, 8)
+        assert decomposition[Level.approximation()].shape == (7, 1)
+
+    def test_levels_sorted(self, rng):
+        decomposition = decompose(rng.random(8))
+        names = [str(l) for l in decomposition.levels]
+        assert names == ["A", "D0", "D1", "D2"]
+
+    def test_vector_requires_1d(self, rng):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            decompose(rng.random((2, 8)))

@@ -1,0 +1,120 @@
+"""Unit and property tests for the orthonormal filter-bank DWT."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DimensionalityError, ValidationError
+from repro.wavelets.filters import SCALING_FILTERS, scaling_filter, wavelet_filter
+from repro.wavelets.transform import Wavelet, dwt_step, idwt_step, wavedec, waverec
+
+WAVELETS = sorted(SCALING_FILTERS)
+
+
+def vectors(dim: int):
+    return arrays(
+        np.float64,
+        (dim,),
+        elements=st.floats(min_value=-10.0, max_value=10.0, width=64),
+    )
+
+
+class TestFilters:
+    @pytest.mark.parametrize("name", WAVELETS)
+    def test_scaling_filter_sums_to_sqrt2(self, name):
+        assert np.isclose(scaling_filter(name).sum(), np.sqrt(2.0))
+
+    @pytest.mark.parametrize("name", WAVELETS)
+    def test_scaling_filter_unit_norm(self, name):
+        h = scaling_filter(name)
+        assert np.isclose(np.dot(h, h), 1.0)
+
+    @pytest.mark.parametrize("name", WAVELETS)
+    def test_wavelet_filter_orthogonal_to_scaling(self, name):
+        h = scaling_filter(name)
+        g = wavelet_filter(name)
+        assert np.isclose(np.dot(h, g), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("name", WAVELETS)
+    def test_wavelet_filter_zero_sum(self, name):
+        assert np.isclose(wavelet_filter(name).sum(), 0.0, atol=1e-10)
+
+    def test_unknown_wavelet(self):
+        with pytest.raises(ValidationError, match="unknown wavelet"):
+            scaling_filter("db99")
+
+
+class TestDwtStep:
+    @pytest.mark.parametrize("name", WAVELETS)
+    def test_step_roundtrip(self, name, rng):
+        x = rng.normal(size=16)
+        a, d = dwt_step(x, name)
+        assert np.allclose(idwt_step(a, d, name), x, atol=1e-10)
+
+    def test_haar_step_matches_orthonormal_convention(self):
+        x = np.array([1.0, 3.0])
+        a, d = dwt_step(x, "haar")
+        assert np.isclose(a[0], 4.0 / np.sqrt(2.0))
+        assert np.isclose(d[0], -2.0 / np.sqrt(2.0))
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(DimensionalityError):
+            dwt_step(np.zeros(5))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionalityError):
+            idwt_step(np.zeros(2), np.zeros(4))
+
+
+class TestWavedec:
+    @pytest.mark.parametrize("name", WAVELETS)
+    @given(x=vectors(32))
+    def test_perfect_reconstruction(self, name, x):
+        approx, details = wavedec(x, name)
+        assert np.allclose(waverec(approx, details, name), x, atol=1e-9)
+
+    @pytest.mark.parametrize("name", WAVELETS)
+    def test_parseval_energy_preserved(self, name, rng):
+        x = rng.normal(size=64)
+        approx, details = wavedec(x, name)
+        energy = np.dot(approx, approx) + sum(np.dot(d, d) for d in details)
+        assert np.isclose(energy, np.dot(x, x), rtol=1e-10)
+
+    def test_level_count(self):
+        approx, details = wavedec(np.zeros(16), "haar", level=2)
+        assert approx.shape[-1] == 4
+        assert len(details) == 2
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(DimensionalityError):
+            wavedec(np.zeros(8), level=4)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(DimensionalityError):
+            wavedec(np.zeros(12))
+
+    def test_matrix_batch(self, rng):
+        x = rng.normal(size=(4, 16))
+        approx, details = wavedec(x, "db2")
+        recon = waverec(approx, details, "db2")
+        assert np.allclose(recon, x, atol=1e-9)
+
+    def test_wavelet_object_reuse(self, rng):
+        w = Wavelet("db3")
+        x = rng.normal(size=8)
+        a1, d1 = wavedec(x, w)
+        a2, d2 = wavedec(x, "db3")
+        assert np.allclose(a1, a2)
+
+    @pytest.mark.parametrize("name", ["db2", "db3", "db4"])
+    def test_orthonormal_distance_preservation(self, name, rng):
+        """Orthonormal DWT preserves distances exactly (isometry)."""
+        x, y = rng.normal(size=(2, 32))
+        ax, dx = wavedec(x, name)
+        ay, dy = wavedec(y, name)
+        transformed = np.concatenate([ax - ay] + [a - b for a, b in zip(dx, dy)])
+        assert np.isclose(
+            np.linalg.norm(transformed), np.linalg.norm(x - y), rtol=1e-10
+        )

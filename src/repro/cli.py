@@ -5,17 +5,28 @@ Usage::
     python -m repro list
     python -m repro fig8b --peers 30 --seed 7
     python -m repro fig10a --scale paper
+    python -m repro fig8b --json
+    python -m repro trace fig8b --out trace.jsonl
+    python -m repro profile fig8b --scale quick
     python -m repro all
 
 Each experiment prints the same series its benchmark target produces.
 ``--scale quick`` (default) runs in seconds; ``--scale paper`` uses
 parameters proportioned like the paper's own setups (minutes).
+``--json`` dumps the series plus an observability metrics snapshot as
+machine-readable JSON. ``trace`` records the experiment's span tree to
+JSONL; ``profile`` prints the per-phase time/hops/bytes breakdown (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
+import warnings
+from dataclasses import asdict, dataclass, field, is_dataclass
 
 from repro.evaluation.dissemination import (
     run_fig8a,
@@ -30,7 +41,14 @@ from repro.evaluation.effectiveness import (
     run_fig10c,
 )
 from repro.evaluation.quality import run_fig11
-from repro.evaluation.reporting import rows_to_table, series_to_table
+from repro.evaluation.reporting import (
+    metrics_to_table,
+    rows_to_table,
+    series_to_table,
+)
+from repro.obs import TraceRecorder, tracing
+from repro.obs.profile import flame_summary, phase_table, top_spans_table
+from repro.obs.registry import metrics_scope
 from repro.utils.ascii_plot import line_chart
 from repro.utils.tables import format_table
 
@@ -52,6 +70,16 @@ _SCALES = {
     },
 }
 
+#: Parameters every experiment *may* receive; dropping one of these during
+#: signature filtering is expected (not every runner takes every knob).
+_COMMON_KEYS = frozenset(
+    set().union(*(set(preset) for preset in _SCALES.values())) | {"rng"}
+)
+
+#: Cached ``func -> accepted parameter names`` (signature inspection is
+#: surprisingly slow to repeat for every command dispatch).
+_SIGNATURE_CACHE: dict = {}
+
 
 def _common(args, **overrides):
     params = dict(_SCALES[args.scale])
@@ -63,23 +91,69 @@ def _common(args, **overrides):
 
 
 def _filter_kwargs(func, params):
-    import inspect
+    """Keep only the kwargs ``func`` accepts; warn on unexpected drops.
 
-    accepted = set(inspect.signature(func).parameters)
+    Dropping a *common* scale knob (``n_objects`` for a dissemination
+    runner, say) is normal. Dropping anything else means the caller
+    misspelled an override — that used to vanish silently; now it warns.
+    """
+    accepted = _SIGNATURE_CACHE.get(func)
+    if accepted is None:
+        accepted = _SIGNATURE_CACHE[func] = frozenset(
+            inspect.signature(func).parameters
+        )
+    unexpected = sorted(
+        key for key in params
+        if key not in accepted and key not in _COMMON_KEYS
+    )
+    if unexpected:
+        warnings.warn(
+            f"{func.__name__}() does not accept parameter(s) "
+            f"{', '.join(unexpected)}; dropping them",
+            stacklevel=2,
+        )
     return {k: v for k, v in params.items() if k in accepted}
 
 
-def _cmd_fig8a(args):
+@dataclass
+class ExperimentOutput:
+    """One experiment run, both machine- and human-readable.
+
+    Attributes
+    ----------
+    name:
+        Experiment id (``fig8b``).
+    records:
+        JSON-safe row dicts (what ``--json`` emits).
+    text:
+        Rendered ASCII tables/charts (what the default mode prints).
+    """
+
+    name: str
+    records: list = field(default_factory=list)
+    text: str = ""
+
+
+def _records(rows) -> list:
+    return [asdict(row) if is_dataclass(row) else dict(row) for row in rows]
+
+
+# -- experiment builders ------------------------------------------------------
+
+
+def _build_fig8a(args) -> ExperimentOutput:
     rows = run_fig8a(**_filter_kwargs(run_fig8a, _common(args)))
-    print(rows_to_table(rows, title="Figure 8a — replication overhead"))
+    return ExperimentOutput(
+        "fig8a", _records(rows),
+        rows_to_table(rows, title="Figure 8a — replication overhead"),
+    )
 
 
-def _cmd_fig8b(args):
+def _build_fig8b(args) -> ExperimentOutput:
     rows = run_fig8b(**_filter_kwargs(run_fig8b, _common(args)))
-    print(rows_to_table(rows, title="Figure 8b — hops per item vs volume"))
+    text = rows_to_table(rows, title="Figure 8b — hops per item vs volume")
     if args.plot:
-        print()
-        print(line_chart(
+        text += "\n\n" + line_chart(
             {
                 "Hyper-M": [r.hyperm_hops_per_item for r in rows],
                 "CAN": [r.can_hops_per_item for r in rows],
@@ -87,116 +161,143 @@ def _cmd_fig8b(args):
             },
             x_labels=[r.total_items for r in rows],
             title="hops/item vs total items",
-        ))
+        )
+    return ExperimentOutput("fig8b", _records(rows), text)
 
 
-def _cmd_fig8c(args):
+def _build_fig8c(args) -> ExperimentOutput:
     rows, base = run_fig8c(**_filter_kwargs(run_fig8c, _common(args)))
-    print(rows_to_table(rows, title="Figure 8c — hops per item vs levels"))
-    print(
-        format_table(
-            ["baseline", "hops_per_item"],
-            [
-                ["CAN (full dim)", base.can_hops_per_item],
-                ["CAN (2-d)", base.can2d_hops_per_item],
-            ],
-        )
+    text = rows_to_table(rows, title="Figure 8c — hops per item vs levels")
+    text += "\n" + format_table(
+        ["baseline", "hops_per_item"],
+        [
+            ["CAN (full dim)", base.can_hops_per_item],
+            ["CAN (2-d)", base.can2d_hops_per_item],
+        ],
     )
+    records = _records(rows)
+    records.append({
+        "baseline_can": base.can_hops_per_item,
+        "baseline_can2d": base.can2d_hops_per_item,
+    })
+    return ExperimentOutput("fig8c", records, text)
 
 
-def _cmd_fig9(args):
+def _build_fig9(args) -> ExperimentOutput:
     rows = run_fig9(**_filter_kwargs(run_fig9, _common(args)))
-    print(rows_to_table(rows, title="Figure 9 — load distribution"))
+    return ExperimentOutput(
+        "fig9", _records(rows),
+        rows_to_table(rows, title="Figure 9 — load distribution"),
+    )
 
 
-def _cmd_fig10a(args):
+def _build_fig10a(args) -> ExperimentOutput:
     out = run_fig10a(**_filter_kwargs(run_fig10a, _common(args)))
-    print(
-        series_to_table(
-            {f"K_p={k}": v for k, v in out.items()},
-            x_name="peers_contacted",
-            title="Figure 10a — range recall vs peers contacted",
-        )
+    series = {f"K_p={k}": v for k, v in out.items()}
+    text = series_to_table(
+        series,
+        x_name="peers_contacted",
+        title="Figure 10a — range recall vs peers contacted",
     )
     if args.plot:
-        print()
-        print(line_chart(
+        text += "\n\n" + line_chart(
             {
-                f"K_p={k}": [point.mean for point in v]
-                for k, v in out.items()
+                label: [point.mean for point in points]
+                for label, points in series.items()
             },
-            x_labels=[point.x for point in next(iter(out.values()))],
+            x_labels=[point.x for point in next(iter(series.values()))],
             title="mean recall vs peers contacted",
-        ))
+        )
+    records = [
+        {"series": label, "x": p.x, "mean": p.mean, "min": p.min, "max": p.max}
+        for label, points in series.items()
+        for p in points
+    ]
+    return ExperimentOutput("fig10a", records, text)
 
 
-def _cmd_fig10b(args):
+def _build_fig10b(args) -> ExperimentOutput:
     rows = run_fig10b(**_filter_kwargs(run_fig10b, _common(args)))
-    print(rows_to_table(rows, title="Figure 10b — k-NN precision/recall"))
+    return ExperimentOutput(
+        "fig10b", _records(rows),
+        rows_to_table(rows, title="Figure 10b — k-NN precision/recall"),
+    )
 
 
-def _cmd_fig10c(args):
+def _build_fig10c(args) -> ExperimentOutput:
     rows = run_fig10c(**_filter_kwargs(run_fig10c, _common(args)))
-    print(rows_to_table(rows, title="Figure 10c — staleness"))
+    text = rows_to_table(rows, title="Figure 10c — staleness")
     if args.plot:
-        print()
-        print(line_chart(
+        text += "\n\n" + line_chart(
             {"recall": [r.mean for r in rows]},
             x_labels=[r.x for r in rows],
             title="recall vs new-document fraction",
-        ))
+        )
+    return ExperimentOutput("fig10c", _records(rows), text)
 
 
-def _cmd_cknob(args):
+def _build_cknob(args) -> ExperimentOutput:
     rows = run_c_knob(**_filter_kwargs(run_c_knob, _common(args)))
-    print(rows_to_table(rows, title="§6.1 — C-knob trade-off"))
+    return ExperimentOutput(
+        "cknob", _records(rows),
+        rows_to_table(rows, title="§6.1 — C-knob trade-off"),
+    )
 
 
-def _cmd_fig11(args):
+def _build_fig11(args) -> ExperimentOutput:
     rows = run_fig11(**_filter_kwargs(run_fig11, _common(args)))
-    print(rows_to_table(rows, title="Figure 11 — clustering quality"))
+    return ExperimentOutput(
+        "fig11", _records(rows),
+        rows_to_table(rows, title="Figure 11 — clustering quality"),
+    )
 
 
-def _cmd_construction(args):
+def _build_construction(args) -> ExperimentOutput:
     from repro.evaluation.construction import run_construction_comparison
 
     params = _filter_kwargs(run_construction_comparison, _common(args))
     comparison = run_construction_comparison(**params)
     hyperm, can = comparison.hyperm, comparison.can
-    print(
-        format_table(
-            ["metric", "Hyper-M", "per-item CAN"],
+    text = format_table(
+        ["metric", "Hyper-M", "per-item CAN"],
+        [
+            ["hops/item", hyperm.hops_per_item, can.hops_per_item],
+            ["bytes/item", hyperm.bytes_per_item, can.bytes_per_item],
             [
-                ["hops/item", hyperm.hops_per_item, can.hops_per_item],
-                ["bytes/item", hyperm.bytes_per_item, can.bytes_per_item],
-                [
-                    "parallel makespan (s)",
-                    hyperm.parallel_makespan,
-                    can.parallel_makespan,
-                ],
-                [
-                    "shared-channel makespan (s)",
-                    hyperm.shared_channel_makespan,
-                    can.shared_channel_makespan,
-                ],
+                "parallel makespan (s)",
+                hyperm.parallel_makespan,
+                can.parallel_makespan,
             ],
-            title="Construction time (event-driven parallel simulation)",
-        )
+            [
+                "shared-channel makespan (s)",
+                hyperm.shared_channel_makespan,
+                can.shared_channel_makespan,
+            ],
+        ],
+        title="Construction time (event-driven parallel simulation)",
     )
+
+    def _method_record(label, result):
+        record = asdict(result) if is_dataclass(result) else dict(vars(result))
+        record["method"] = label
+        return record
+
+    records = [_method_record("hyperm", hyperm), _method_record("can", can)]
+    return ExperimentOutput("construction", records, text)
 
 
 _COMMANDS = {
-    "fig8a": (_cmd_fig8a, "Figure 8a: cluster replication overhead"),
-    "fig8b": (_cmd_fig8b, "Figure 8b: hops per item vs data volume"),
-    "fig8c": (_cmd_fig8c, "Figure 8c: hops per item vs overlay levels"),
-    "fig9": (_cmd_fig9, "Figure 9: load distribution under skew"),
-    "fig10a": (_cmd_fig10a, "Figure 10a: range recall vs peers contacted"),
-    "fig10b": (_cmd_fig10b, "Figure 10b: k-NN precision/recall"),
-    "fig10c": (_cmd_fig10c, "Figure 10c: staleness from late inserts"),
-    "cknob": (_cmd_cknob, "§6.1: the C knob trade-off"),
-    "fig11": (_cmd_fig11, "Figure 11: clustering quality per subspace"),
+    "fig8a": (_build_fig8a, "Figure 8a: cluster replication overhead"),
+    "fig8b": (_build_fig8b, "Figure 8b: hops per item vs data volume"),
+    "fig8c": (_build_fig8c, "Figure 8c: hops per item vs overlay levels"),
+    "fig9": (_build_fig9, "Figure 9: load distribution under skew"),
+    "fig10a": (_build_fig10a, "Figure 10a: range recall vs peers contacted"),
+    "fig10b": (_build_fig10b, "Figure 10b: k-NN precision/recall"),
+    "fig10c": (_build_fig10c, "Figure 10c: staleness from late inserts"),
+    "cknob": (_build_cknob, "§6.1: the C knob trade-off"),
+    "fig11": (_build_fig11, "Figure 11: clustering quality per subspace"),
     "construction": (
-        _cmd_construction,
+        _build_construction,
         "construction time, Hyper-M vs per-item CAN",
     ),
 }
@@ -221,6 +322,37 @@ def build_parser() -> argparse.ArgumentParser:
     for name, (__, help_text) in _COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         _add_common_args(cmd)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one experiment with span tracing; write a JSONL trace",
+    )
+    trace_parser.add_argument(
+        "experiment", choices=sorted(_COMMANDS), help="experiment to trace"
+    )
+    _add_common_args(trace_parser)
+    trace_parser.add_argument(
+        "--out",
+        default=None,
+        help="trace output path (default: trace-<experiment>.jsonl)",
+    )
+    trace_parser.add_argument(
+        "--depth", type=int, default=3,
+        help="max depth of the printed flame summary",
+    )
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one experiment traced; print per-phase time/hops/bytes",
+    )
+    profile_parser.add_argument(
+        "experiment", choices=sorted(_COMMANDS), help="experiment to profile"
+    )
+    _add_common_args(profile_parser)
+    profile_parser.add_argument(
+        "--top", type=int, default=10,
+        help="how many individually slowest spans to list",
+    )
     return parser
 
 
@@ -242,6 +374,66 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also sketch the series as an ASCII chart",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (series + metrics snapshot)",
+    )
+
+
+def _json_default(value):
+    """JSON fallback for numpy scalars and other ``.item()``-bearers."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"object of type {type(value).__name__} is not JSON serializable"
+    )
+
+
+def _emit(args, out: ExperimentOutput, metrics_snapshot: dict) -> None:
+    if getattr(args, "json", False):
+        payload = {
+            "experiment": out.name,
+            "scale": args.scale,
+            "seed": args.seed,
+            "records": out.records,
+            "metrics": metrics_snapshot,
+        }
+        print(json.dumps(payload, indent=2, default=_json_default))
+    else:
+        print(out.text)
+
+
+def _cmd_trace(args) -> int:
+    builder, __ = _COMMANDS[args.experiment]
+    recorder = TraceRecorder()
+    with metrics_scope(), tracing(recorder):
+        builder(args)
+    path = args.out or f"trace-{args.experiment}.jsonl"
+    count = recorder.write_jsonl(path)
+    print(f"trace: wrote {count} spans to {path}")
+    print()
+    print(flame_summary(recorder.spans, max_depth=max(args.depth, 1)))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    builder, __ = _COMMANDS[args.experiment]
+    recorder = TraceRecorder()
+    with metrics_scope() as registry, tracing(recorder):
+        builder(args)
+    print(phase_table(
+        recorder.spans,
+        title=f"profile — {args.experiment} ({args.scale} scale)",
+    ))
+    print()
+    print(top_spans_table(
+        recorder.spans, args.top, title=f"top {args.top} spans"
+    ))
+    print()
+    print(metrics_to_table(registry.snapshot(), title="metrics snapshot"))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -251,26 +443,42 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name, (__, help_text) in _COMMANDS.items():
             print(f"{name:14s} {help_text}")
+        print(f"{'trace':14s} record one experiment's span tree as JSONL")
+        print(f"{'profile':14s} per-phase time/hops/bytes for one experiment")
         return 0
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "all":
-        if getattr(args, "output", None):
-            from repro.evaluation.summary import (
-                render_markdown,
-                run_full_report,
-            )
+        from repro.evaluation.summary import (
+            render_markdown,
+            run_full_report,
+        )
 
+        if getattr(args, "output", None):
             reports = run_full_report(scale=args.scale, rng=args.seed)
             text = render_markdown(reports)
             with open(args.output, "w") as handle:
                 handle.write(text)
             print(f"wrote {len(reports)} experiment reports to {args.output}")
             return 0
-        for name, (func, __) in _COMMANDS.items():
+        if args.json:
+            reports = run_full_report(scale=args.scale, rng=args.seed)
+            print(json.dumps(
+                [asdict(report) for report in reports],
+                indent=2, default=_json_default,
+            ))
+            return 0
+        for name, (builder, __) in _COMMANDS.items():
             print(f"\n### {name}")
-            func(args)
+            with metrics_scope():
+                print(builder(args).text)
         return 0
-    func, __ = _COMMANDS[args.command]
-    func(args)
+    builder, __ = _COMMANDS[args.command]
+    with metrics_scope() as registry:
+        out = builder(args)
+    _emit(args, out, registry.snapshot())
     return 0
 
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.clustering.kmeans import kmeans
 from repro.clustering.spheres import ClusterSphere, spheres_from_clustering
 from repro.exceptions import ClusteringError
+from repro.obs import trace as obs_trace
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import check_matrix
 from repro.wavelets.multiresolution import (
@@ -89,7 +90,9 @@ def summarize_peer_data(
         raise ClusteringError(f"n_clusters must be >= 1, got {n_clusters}")
     n = data.shape[0]
     levels = tuple(publication_levels(data.shape[1], levels_used))
-    decomposition = decompose_dataset(data)
+    recorder = obs_trace.state.recorder
+    with recorder.span("dwt", items=n, dimensionality=data.shape[1]):
+        decomposition = decompose_dataset(data)
     child_rngs = spawn_rngs(ensure_rng(rng), len(levels))
 
     spheres: dict = {}
@@ -97,8 +100,19 @@ def summarize_peer_data(
     k = min(n_clusters, n)
     for level, child in zip(levels, child_rngs):
         coeffs = decomposition[level]
-        result = kmeans(coeffs, k, rng=child, n_init=n_init)
-        spheres[level] = spheres_from_clustering(coeffs, result)
+        with recorder.span(
+            f"kmeans[{level}]", level=str(level), k=k, items=n
+        ) as span:
+            result = kmeans(coeffs, k, rng=child, n_init=n_init)
+            spheres[level] = spheres_from_clustering(coeffs, result)
+            span.set(
+                clusters=len(spheres[level]),
+                mean_radius=float(
+                    np.mean([s.radius for s in spheres[level]])
+                    if spheres[level]
+                    else 0.0
+                ),
+            )
         labels[level] = result.labels
     return PeerSummary(
         dimensionality=data.shape[1],

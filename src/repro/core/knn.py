@@ -32,6 +32,8 @@ from repro.core.results import KnnResult, sort_items_by_distance
 from repro.core.scoring import aggregate_scores, level_scores, rank_peers
 from repro.exceptions import QueryError
 from repro.geometry.epsilon import estimate_epsilon_for_k, expected_items
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
 from repro.utils.validation import check_vector
 
 #: First probe radius, as a fraction of the key-space diagonal.
@@ -57,10 +59,13 @@ def _discover_level(
     diagonal = math.sqrt(key.shape[0])
     eps = _INITIAL_PROBE_FRACTION * diagonal
     hops = 0
+    probes = 0
     entries: list = []
+    recorder = obs_trace.state.recorder
     while True:
         receipt = overlay.range_query(origin_node, key, eps)
         hops += receipt.total_hops
+        probes += 1
         entries = receipt.entries
         spheres = _spheres_from_entries(entries)
         if spheres and expected_items(eps, spheres, key) >= k:
@@ -70,12 +75,16 @@ def _discover_level(
         eps = min(2.0 * eps, diagonal)
     spheres = _spheres_from_entries(entries)
     if not spheres:
+        recorder.annotate(probes=probes)
         return eps, entries, hops
     eps_star = estimate_epsilon_for_k(k, spheres, key)
     if eps_star < eps:
         receipt = overlay.range_query(origin_node, key, eps_star)
         hops += receipt.total_hops
+        probes += 1
+        recorder.annotate(probes=probes)
         return eps_star, receipt.entries, hops
+    recorder.annotate(probes=probes)
     return eps, entries, hops
 
 
@@ -146,43 +155,83 @@ def knn_query(
     if not network.peers[origin].online:
         raise QueryError(f"origin peer {origin} has left the network")
 
-    keys = _query_keys(network, query)
-    per_level: dict = {}
-    epsilon_per_level: dict = {}
-    index_hops = 0
-    for level in network.levels:
-        overlay = network.overlays[level]
-        origin_node = network.overlay_node(level, origin)
-        eps_l, entries, hops = _discover_level(
-            overlay, origin_node, keys[level], float(k)
-        )
-        index_hops += hops
-        epsilon_per_level[level] = eps_l
-        per_level[level] = level_scores(entries, keys[level], eps_l)
+    recorder = obs_trace.state.recorder
+    with recorder.span(
+        "query", type="knn", k=k, c=float(c), origin=origin
+    ) as query_span:
+        with recorder.span("translate", levels=len(network.levels)):
+            keys = _query_keys(network, query)
+        per_level: dict = {}
+        epsilon_per_level: dict = {}
+        index_hops = 0
+        for level in network.levels:
+            overlay = network.overlays[level]
+            origin_node = network.overlay_node(level, origin)
+            with recorder.span(
+                f"sphere_filter[{level}]", level=str(level)
+            ) as span:
+                eps_l, entries, hops = _discover_level(
+                    overlay, origin_node, keys[level], float(k)
+                )
+                index_hops += hops
+                epsilon_per_level[level] = eps_l
+                stats: dict = {}
+                per_level[level] = level_scores(
+                    entries, keys[level], eps_l, stats=stats
+                )
+                span.set(
+                    epsilon=eps_l,
+                    candidates=stats["candidates"],
+                    pruned=stats["pruned"],
+                    surviving=stats["surviving"],
+                    peers=len(per_level[level]),
+                    hops=hops,
+                )
 
-    policy = aggregation or network.config.aggregation
-    aggregated = aggregate_scores(per_level, policy=policy)
-    ranked = rank_peers(aggregated)
-    selected = _peers_to_contact(ranked, k, top_p)
-    contacted, messages, failed = contact_peers(
-        network, selected, origin_peer=origin, max_peers=None
-    )
-    reached = set(contacted)
-    # Shares are allocated over the peers the querier *planned* to use;
-    # requests to departed peers are simply lost (MANET churn).
-    score_sum = sum(score for __, score in selected)
-    items = []
-    for peer_id, score in selected:
-        if peer_id not in reached:
-            continue
-        if score_sum > 0:
-            share = score / score_sum
-        else:
-            share = 1.0 / max(len(selected), 1)
-        no_items = int(math.ceil(c * k * share))
-        supplied = network.peers[peer_id].nearest_items(query, no_items)
-        messages += charge_response(network, origin, peer_id, len(supplied))
-        items.extend(supplied)
+        policy = aggregation or network.config.aggregation
+        with recorder.span("score", policy=policy) as span:
+            aggregated = aggregate_scores(per_level, policy=policy)
+            span.set(peers_scored=len(aggregated))
+        ranked = rank_peers(aggregated)
+        selected = _peers_to_contact(ranked, k, top_p)
+        items = []
+        with recorder.span("contact_peers") as contact_span:
+            contacted, messages, failed = contact_peers(
+                network, selected, origin_peer=origin, max_peers=None
+            )
+            reached = set(contacted)
+            # Shares are allocated over the peers the querier *planned* to
+            # use; requests to departed peers are simply lost (MANET churn).
+            score_sum = sum(score for __, score in selected)
+            for peer_id, score in selected:
+                if peer_id not in reached:
+                    continue
+                if score_sum > 0:
+                    share = score / score_sum
+                else:
+                    share = 1.0 / max(len(selected), 1)
+                no_items = int(math.ceil(c * k * share))
+                supplied = network.peers[peer_id].nearest_items(
+                    query, no_items
+                )
+                messages += charge_response(
+                    network, origin, peer_id, len(supplied)
+                )
+                items.extend(supplied)
+            contact_span.set(
+                selected=len(selected),
+                reached=len(contacted),
+                failed=len(failed),
+                messages=messages,
+                items=len(items),
+            )
+        query_span.set(index_hops=index_hops, items=len(items))
+    metrics = obs_registry.metrics()
+    metrics.counter("query.knn.count").inc()
+    metrics.counter("query.knn.items").inc(len(items))
+    metrics.counter("query.knn.failed_contacts").inc(len(failed))
+    metrics.histogram("query.knn.index_hops").observe(index_hops)
+    metrics.histogram("query.knn.peers_contacted").observe(len(contacted))
     result = KnnResult(
         items=sort_items_by_distance(items),
         requested_k=k,

@@ -10,6 +10,8 @@ from repro.core.peer import HyperMPeer
 from repro.core.results import ClusterRecord, DisseminationReport
 from repro.exceptions import ValidationError
 from repro.net.network import Network
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
 from repro.overlay.can import CANNetwork
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.wavelets.bounds import key_space_radius, to_unit_cube
@@ -252,42 +254,78 @@ class HyperMNetwork:
         network's dimensionality and levels.
         """
         peer = self.peers[peer_id]
-        if summary is None:
-            summary = peer.build_summary(
-                n_clusters=self.config.n_clusters,
-                levels_used=self.config.levels_used,
-                rng=self._rng,
-                n_init=self.config.kmeans_restarts,
+        recorder = obs_trace.state.recorder
+        with recorder.span("publish", peer=peer_id) as publish_span:
+            if summary is None:
+                summary = peer.build_summary(
+                    n_clusters=self.config.n_clusters,
+                    levels_used=self.config.levels_used,
+                    rng=self._rng,
+                    n_init=self.config.kmeans_restarts,
+                )
+            else:
+                if summary.dimensionality != self.dimensionality:
+                    raise ValidationError(
+                        f"summary is {summary.dimensionality}-d; network "
+                        f"expects {self.dimensionality}-d"
+                    )
+                if list(summary.levels) != list(self.levels):
+                    raise ValidationError(
+                        "summary levels do not match the network's levels"
+                    )
+                peer.summary = summary
+            report = DisseminationReport(items_published=peer.unpublished_from)
+            bytes_before = self.fabric.metrics.total_bytes
+            energy_before = self.fabric.energy.total
+            for level in self.levels:
+                overlay = self.overlays[level]
+                origin = self.overlay_node(level, peer_id)
+                with recorder.span(
+                    f"can_insert[{level}]", level=str(level)
+                ) as level_span:
+                    routing = replicas = 0
+                    for sphere in summary.spheres[level]:
+                        key = np.clip(
+                            to_unit_cube(sphere.centroid, level), 0.0, 1.0
+                        )
+                        radius = key_space_radius(sphere.radius, level)
+                        record = ClusterRecord(
+                            peer_id=peer_id,
+                            items=sphere.items,
+                            level_name=str(level),
+                        )
+                        receipt = overlay.insert(
+                            origin, key, record, radius=radius
+                        )
+                        report.spheres_inserted += 1
+                        routing += receipt.routing_hops
+                        replicas += receipt.replicas
+                    report.routing_hops += routing
+                    report.replica_hops += replicas
+                    level_span.set(
+                        spheres=len(summary.spheres[level]),
+                        routing_hops=routing,
+                        replica_hops=replicas,
+                    )
+            report.bytes_sent = self.fabric.metrics.total_bytes - bytes_before
+            report.energy = self.fabric.energy.total - energy_before
+            publish_span.set(
+                items=report.items_published,
+                spheres=report.spheres_inserted,
+                routing_hops=report.routing_hops,
+                replica_hops=report.replica_hops,
+                bytes=report.bytes_sent,
             )
-        else:
-            if summary.dimensionality != self.dimensionality:
-                raise ValidationError(
-                    f"summary is {summary.dimensionality}-d; network "
-                    f"expects {self.dimensionality}-d"
-                )
-            if list(summary.levels) != list(self.levels):
-                raise ValidationError(
-                    "summary levels do not match the network's levels"
-                )
-            peer.summary = summary
-        report = DisseminationReport(items_published=peer.unpublished_from)
-        bytes_before = self.fabric.metrics.total_bytes
-        energy_before = self.fabric.energy.total
-        for level in self.levels:
-            overlay = self.overlays[level]
-            origin = self.overlay_node(level, peer_id)
-            for sphere in summary.spheres[level]:
-                key = np.clip(to_unit_cube(sphere.centroid, level), 0.0, 1.0)
-                radius = key_space_radius(sphere.radius, level)
-                record = ClusterRecord(
-                    peer_id=peer_id, items=sphere.items, level_name=str(level)
-                )
-                receipt = overlay.insert(origin, key, record, radius=radius)
-                report.spheres_inserted += 1
-                report.routing_hops += receipt.routing_hops
-                report.replica_hops += receipt.replicas
-        report.bytes_sent = self.fabric.metrics.total_bytes - bytes_before
-        report.energy = self.fabric.energy.total - energy_before
+        metrics = obs_registry.metrics()
+        metrics.counter("publish.operations").inc()
+        metrics.counter("publish.items").inc(report.items_published)
+        metrics.counter("publish.spheres").inc(report.spheres_inserted)
+        metrics.counter("publish.routing_hops").inc(report.routing_hops)
+        metrics.counter("publish.replica_hops").inc(report.replica_hops)
+        metrics.counter("publish.bytes").inc(report.bytes_sent)
+        metrics.histogram("publish.hops_per_sphere").observe(
+            report.hops_per_sphere
+        )
         return report
 
     def republish_peer(self, peer_id: int) -> DisseminationReport:

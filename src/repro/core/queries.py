@@ -20,6 +20,8 @@ from repro.core.results import RangeQueryResult, sort_items_by_distance
 from repro.core.scoring import aggregate_scores, level_scores, rank_peers
 from repro.exceptions import EmptyNetworkError, QueryError
 from repro.net.messages import MessageKind, vector_message_size
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
 from repro.utils.validation import check_positive, check_vector
 from repro.wavelets.bounds import key_space_radius, radius_scale, to_unit_cube
 from repro.wavelets.multiresolution import decompose
@@ -50,7 +52,9 @@ def index_phase(
     aggregation: str | None = None,
 ) -> tuple[dict[int, float], int]:
     """Run the index phase; returns (aggregated peer scores, index hops)."""
-    keys = _query_keys(network, query)
+    recorder = obs_trace.state.recorder
+    with recorder.span("translate", levels=len(network.levels)):
+        keys = _query_keys(network, query)
     per_level: dict = {}
     hops = 0
     for level in network.levels:
@@ -58,11 +62,42 @@ def index_phase(
         origin_node = network.overlay_node(level, origin_peer)
         scaled = epsilon * radius_scale(network.dimensionality, level)
         radius = key_space_radius(scaled, level)
-        receipt = overlay.range_query(origin_node, keys[level], radius)
-        hops += receipt.total_hops
-        per_level[level] = level_scores(receipt.entries, keys[level], radius)
+        with recorder.span(
+            f"sphere_filter[{level}]", level=str(level)
+        ) as span:
+            receipt = overlay.range_query(origin_node, keys[level], radius)
+            hops += receipt.total_hops
+            stats: dict = {}
+            per_level[level] = level_scores(
+                receipt.entries, keys[level], radius, stats=stats
+            )
+            span.set(
+                radius=radius,
+                candidates=stats["candidates"],
+                pruned=stats["pruned"],
+                surviving=stats["surviving"],
+                peers=len(per_level[level]),
+                routing_hops=receipt.routing_hops,
+                flood_hops=receipt.flood_hops,
+            )
     policy = aggregation or network.config.aggregation
-    return aggregate_scores(per_level, policy=policy), hops
+    with recorder.span("score", policy=policy) as span:
+        aggregated = aggregate_scores(per_level, policy=policy)
+        if recorder.enabled:
+            candidates = set()
+            for scores in per_level.values():
+                candidates.update(scores)
+            values = sorted(aggregated.values())
+            span.set(
+                peers_scored=len(aggregated),
+                peers_pruned=len(candidates) - len(aggregated),
+                score_min=values[0] if values else 0.0,
+                score_max=values[-1] if values else 0.0,
+                score_mean=(
+                    sum(values) / len(values) if values else 0.0
+                ),
+            )
+    return aggregated, hops
 
 
 def contact_peers(
@@ -160,18 +195,45 @@ def range_query(
     if not network.peers[origin].online:
         raise QueryError(f"origin peer {origin} has left the network")
 
-    aggregated, index_hops = index_phase(
-        network, query, epsilon, origin_peer=origin, aggregation=aggregation
-    )
-    ranked = rank_peers(aggregated)
-    contacted, messages, failed = contact_peers(
-        network, ranked, origin_peer=origin, max_peers=max_peers
-    )
-    items = []
-    for peer_id in contacted:
-        found = network.peers[peer_id].range_search(query, epsilon)
-        messages += charge_response(network, origin, peer_id, len(found))
-        items.extend(found)
+    recorder = obs_trace.state.recorder
+    with recorder.span(
+        "query", type="range", epsilon=float(epsilon), origin=origin
+    ) as query_span:
+        aggregated, index_hops = index_phase(
+            network, query, epsilon, origin_peer=origin,
+            aggregation=aggregation,
+        )
+        ranked = rank_peers(aggregated)
+        items = []
+        with recorder.span("contact_peers") as contact_span:
+            contacted, messages, failed = contact_peers(
+                network, ranked, origin_peer=origin, max_peers=max_peers
+            )
+            for peer_id in contacted:
+                found = network.peers[peer_id].range_search(query, epsilon)
+                messages += charge_response(
+                    network, origin, peer_id, len(found)
+                )
+                items.extend(found)
+            contact_span.set(
+                ranked=len(ranked),
+                reached=len(contacted),
+                failed=len(failed),
+                messages=messages,
+                items=len(items),
+            )
+        query_span.set(
+            index_hops=index_hops,
+            items=len(items),
+            peers_contacted=len(contacted),
+        )
+    metrics = obs_registry.metrics()
+    metrics.counter("query.range.count").inc()
+    metrics.counter("query.range.items").inc(len(items))
+    metrics.counter("query.range.failed_contacts").inc(len(failed))
+    metrics.histogram("query.range.index_hops").observe(index_hops)
+    metrics.histogram("query.range.peers_contacted").observe(len(contacted))
+    metrics.histogram("query.range.retrieval_messages").observe(messages)
     return RangeQueryResult(
         items=sort_items_by_distance(items),
         peer_scores=aggregated,

@@ -31,6 +31,8 @@ def level_scores(
     entries: list,
     query_center: np.ndarray,
     query_radius: float,
+    *,
+    stats: dict | None = None,
 ) -> dict[int, float]:
     """Eq. 1 scores per peer for one level's index-query results.
 
@@ -42,21 +44,33 @@ def level_scores(
         :class:`repro.core.results.ClusterRecord`.
     query_center / query_radius:
         The query sphere, already translated into this level's key space.
+    stats:
+        Optional dict the function fills with this level's Theorem 4.1
+        filter accounting: ``candidates`` spheres examined, ``pruned``
+        (genuinely disjoint from the query ball) and ``surviving``
+        (``candidates - pruned``) — the pruning-power numbers traces and
+        Figure-style analyses report per level.
     """
     query_center = np.asarray(query_center, dtype=np.float64)
     d = query_center.shape[0]
     scores: dict[int, float] = {}
+    pruned = 0
     for entry in entries:
         record = entry.value
         b = float(np.linalg.norm(entry.key - query_center))
         fraction = intersection_fraction(entry.radius, query_radius, b, d)
         if fraction <= 0.0:
             if b > entry.radius + query_radius + 1e-12:
+                pruned += 1
                 continue  # genuinely disjoint: contributes nothing
             fraction = MIN_INTERSECTING_FRACTION
         scores[record.peer_id] = (
             scores.get(record.peer_id, 0.0) + fraction * record.items
         )
+    if stats is not None:
+        stats["candidates"] = len(entries)
+        stats["pruned"] = pruned
+        stats["surviving"] = len(entries) - pruned
     return scores
 
 

@@ -1,4 +1,4 @@
-"""Render experiment rows as paper-style tables."""
+"""Render experiment rows (and metrics snapshots) as paper-style tables."""
 
 from __future__ import annotations
 
@@ -39,4 +39,29 @@ def series_to_table(
                 f"({point.min:.{precision}f}-{point.max:.{precision}f})"
             )
         rows.append(cells)
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def metrics_to_table(
+    snapshot: dict, *, title: str | None = None, precision: int = 3
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as one ASCII table.
+
+    Counters and gauges fill the ``value`` column; histograms additionally
+    report count/mean/max. Row order follows the snapshot's (already
+    sorted) key order, so report diffs are stable.
+    """
+    rows = []
+    for key, value in snapshot.get("counters", {}).items():
+        rows.append([key, "counter", value, "", "", ""])
+    for key, value in snapshot.get("gauges", {}).items():
+        rows.append([key, "gauge", value, "", "", ""])
+    for key, hist in snapshot.get("histograms", {}).items():
+        rows.append([
+            key, "histogram", hist["total"], hist["count"],
+            hist["mean"], hist["max"],
+        ])
+    if not rows:
+        return (title or "metrics") + ": (no metrics recorded)"
+    headers = ["metric", "type", "value", "count", "mean", "max"]
     return format_table(headers, rows, title=title, precision=precision)

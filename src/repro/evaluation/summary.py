@@ -22,7 +22,13 @@ from repro.evaluation.effectiveness import (
     run_fig10c,
 )
 from repro.evaluation.quality import run_fig11
-from repro.evaluation.reporting import rows_to_table, series_to_table
+from repro.evaluation.reporting import (
+    metrics_to_table,
+    rows_to_table,
+    series_to_table,
+)
+from repro.obs import trace as obs_trace
+from repro.obs.registry import metrics_scope
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 
@@ -38,12 +44,30 @@ class ExperimentReport:
         Plain-dict rows (JSON-safe) for programmatic consumption.
     table:
         The rendered ASCII table, as the benchmarks print it.
+    metrics:
+        Observability snapshot (counters/gauges/histograms) collected
+        while this experiment ran — publish/query totals that make report
+        diffs quantitative, not just table-shaped.
     """
 
     name: str
     title: str
     records: list = field(default_factory=list)
     table: str = ""
+    metrics: dict = field(default_factory=dict)
+
+
+def _scoped(name: str, thunk):
+    """Run ``thunk`` under a fresh metrics scope and an experiment span.
+
+    Returns ``(result, metrics snapshot)`` so each experiment's report
+    carries only its own publish/query counters.
+    """
+    recorder = obs_trace.state.recorder
+    with metrics_scope() as scoped:
+        with recorder.span(f"experiment[{name}]"):
+            result = thunk()
+    return result, scoped.snapshot()
 
 
 def _rows_report(name, title, rows) -> ExperimentReport:
@@ -84,15 +108,26 @@ def run_full_report(*, scale: str = "quick", rng=0) -> list[ExperimentReport]:
         return {k: v for k, v in merged.items() if k in accepted}
 
     reports = []
-    reports.append(_rows_report(
-        "fig8a", "Figure 8a — replication overhead",
-        run_fig8a(**pick(run_fig8a), rng=seeds[0]),
-    ))
-    reports.append(_rows_report(
-        "fig8b", "Figure 8b — hops per item vs volume",
-        run_fig8b(**pick(run_fig8b), rng=seeds[1]),
-    ))
-    fig8c_rows, fig8c_base = run_fig8c(**pick(run_fig8c), rng=seeds[2])
+
+    def add(report: ExperimentReport, metrics: dict) -> None:
+        report.metrics = metrics
+        reports.append(report)
+
+    rows, captured = _scoped(
+        "fig8a", lambda: run_fig8a(**pick(run_fig8a), rng=seeds[0])
+    )
+    add(_rows_report(
+        "fig8a", "Figure 8a — replication overhead", rows,
+    ), captured)
+    rows, captured = _scoped(
+        "fig8b", lambda: run_fig8b(**pick(run_fig8b), rng=seeds[1])
+    )
+    add(_rows_report(
+        "fig8b", "Figure 8b — hops per item vs volume", rows,
+    ), captured)
+    (fig8c_rows, fig8c_base), captured = _scoped(
+        "fig8c", lambda: run_fig8c(**pick(run_fig8c), rng=seeds[2])
+    )
     fig8c = _rows_report(
         "fig8c", "Figure 8c — hops per item vs levels", fig8c_rows
     )
@@ -100,15 +135,19 @@ def run_full_report(*, scale: str = "quick", rng=0) -> list[ExperimentReport]:
         "baseline_can": fig8c_base.can_hops_per_item,
         "baseline_can2d": fig8c_base.can2d_hops_per_item,
     })
-    reports.append(fig8c)
-    reports.append(_rows_report(
-        "fig9", "Figure 9 — load distribution under skew",
-        run_fig9(**pick(run_fig9), rng=seeds[3]),
-    ))
+    add(fig8c, captured)
+    rows, captured = _scoped(
+        "fig9", lambda: run_fig9(**pick(run_fig9), rng=seeds[3])
+    )
+    add(_rows_report(
+        "fig9", "Figure 9 — load distribution under skew", rows,
+    ), captured)
 
-    fig10a = run_fig10a(**pick(run_fig10a), rng=seeds[4])
+    fig10a, captured = _scoped(
+        "fig10a", lambda: run_fig10a(**pick(run_fig10a), rng=seeds[4])
+    )
     series = {f"K_p={k}": v for k, v in fig10a.items()}
-    reports.append(ExperimentReport(
+    add(ExperimentReport(
         name="fig10a",
         title="Figure 10a — range recall vs peers contacted",
         records=[
@@ -121,23 +160,27 @@ def run_full_report(*, scale: str = "quick", rng=0) -> list[ExperimentReport]:
             series, x_name="peers",
             title="Figure 10a — range recall vs peers contacted",
         ),
-    ))
-    reports.append(_rows_report(
-        "fig10b", "Figure 10b — k-NN precision/recall",
-        run_fig10b(**pick(run_fig10b), rng=seeds[5]),
-    ))
-    reports.append(_rows_report(
-        "cknob", "§6.1 — the C knob",
-        run_c_knob(**pick(run_c_knob), rng=seeds[6]),
-    ))
-    reports.append(_rows_report(
-        "fig10c", "Figure 10c — staleness",
-        run_fig10c(**pick(run_fig10c), rng=seeds[7]),
-    ))
-    reports.append(_rows_report(
-        "fig11", "Figure 11 — clustering quality per space",
-        run_fig11(**pick(run_fig11), rng=seeds[8]),
-    ))
+    ), captured)
+    rows, captured = _scoped(
+        "fig10b", lambda: run_fig10b(**pick(run_fig10b), rng=seeds[5])
+    )
+    add(_rows_report(
+        "fig10b", "Figure 10b — k-NN precision/recall", rows,
+    ), captured)
+    rows, captured = _scoped(
+        "cknob", lambda: run_c_knob(**pick(run_c_knob), rng=seeds[6])
+    )
+    add(_rows_report("cknob", "§6.1 — the C knob", rows), captured)
+    rows, captured = _scoped(
+        "fig10c", lambda: run_fig10c(**pick(run_fig10c), rng=seeds[7])
+    )
+    add(_rows_report("fig10c", "Figure 10c — staleness", rows), captured)
+    rows, captured = _scoped(
+        "fig11", lambda: run_fig11(**pick(run_fig11), rng=seeds[8])
+    )
+    add(_rows_report(
+        "fig11", "Figure 11 — clustering quality per space", rows,
+    ), captured)
     return reports
 
 
@@ -153,6 +196,11 @@ def render_markdown(reports: list[ExperimentReport]) -> str:
         if chart:
             parts.append("")
             parts.append(chart)
+        if report.metrics.get("counters") or report.metrics.get("histograms"):
+            parts.append("")
+            parts.append(metrics_to_table(
+                report.metrics, title="observability snapshot"
+            ))
         parts.append("```")
         parts.append("")
     return "\n".join(parts)

@@ -69,3 +69,21 @@ class EnergyLedger:
     def node_energy(self, node_id: int) -> float:
         """Energy drained from ``node_id`` so far (µJ)."""
         return self.per_node.get(node_id, 0.0)
+
+    def snapshot(self) -> dict:
+        """Deterministic summary for reports: total plus spread statistics.
+
+        The max/mean ratio is the MANET hot-spot signal — a battery dies
+        first at the max-drain node, so dissemination strategies are
+        judged on the spread, not just the total.
+        """
+        drains = list(self.per_node.values())
+        mean = (sum(drains) / len(drains)) if drains else 0.0
+        peak = max(drains) if drains else 0.0
+        return {
+            "total": self.total,
+            "nodes_charged": len(drains),
+            "mean_node": mean,
+            "max_node": peak,
+            "max_over_mean": (peak / mean) if mean > 0 else 0.0,
+        }

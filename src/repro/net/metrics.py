@@ -32,7 +32,7 @@ class OperationMetrics:
 class NetworkMetrics:
     """Network-wide counters, split by message kind."""
 
-    by_kind: dict = field(default_factory=dict)
+    by_kind: dict[MessageKind, OperationMetrics] = field(default_factory=dict)
 
     def _bucket(self, kind: MessageKind) -> OperationMetrics:
         bucket = self.by_kind.get(kind)
@@ -68,8 +68,12 @@ class NetworkMetrics:
         """Counters for ``kind`` (zeroed bucket when never used)."""
         return self._bucket(kind)
 
-    def snapshot(self) -> dict:
-        """Plain-dict summary for reports."""
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict summary for reports.
+
+        Keys are sorted by kind name so two runs' snapshots diff cleanly
+        regardless of which message kinds happened to be seen first.
+        """
         return {
             kind.value: {
                 "messages": b.messages,
@@ -78,5 +82,7 @@ class NetworkMetrics:
                 "mean_hops_per_op": b.per_op_hops.mean,
                 "ops": b.per_op_hops.count,
             }
-            for kind, b in self.by_kind.items()
+            for kind, b in sorted(
+                self.by_kind.items(), key=lambda kv: kv[0].value
+            )
         }

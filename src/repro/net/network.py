@@ -17,6 +17,7 @@ from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 from repro.net.metrics import NetworkMetrics
 from repro.net.node import SimNode
+from repro.obs import trace as obs_trace
 
 
 class Network:
@@ -96,6 +97,9 @@ class Network:
         )
         self.energy.charge_hop(source, destination, size_bytes)
         self.metrics.record_transmit(kind, size_bytes)
+        recorder = obs_trace.state.recorder
+        if recorder.enabled:
+            recorder.add(messages=1, hops=1, bytes=size_bytes)
         if deliver is not None:
             self.scheduler.schedule_after(
                 self.hop_latency, lambda: deliver(message)
@@ -105,3 +109,12 @@ class Network:
     def finish_operation(self, kind: MessageKind, hops: int) -> None:
         """Record a completed logical operation (e.g. one full insertion)."""
         self.metrics.finish_operation(kind, hops)
+
+    def snapshot(self) -> dict:
+        """Deterministic fabric-health summary (metrics, energy, events)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "energy": self.energy.snapshot(),
+            "events_processed": self.scheduler.events_processed,
+            "nodes": len(self._nodes),
+        }

@@ -1,0 +1,69 @@
+"""Observability for the Hyper-M pipeline: metrics, traces, profiles.
+
+Three coordinated pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.registry` — a process-wide but injectable metrics
+  registry (counters, gauges, histograms, timers) with deterministic
+  snapshots; clocks are injectable so simulated time can drive timers.
+* :mod:`repro.obs.trace` — structured span trees for every publish and
+  query (``publish → dwt → kmeans[level] → can_insert[level]``; ``query →
+  translate → sphere_filter[level] → score → contact_peers``) with JSONL
+  export. Off by default: the active recorder is a no-op whose cost on
+  the hot path is a single attribute check.
+* :mod:`repro.obs.profile` — per-phase time/hops/bytes aggregation and
+  flame summaries, powering ``python -m repro profile <experiment>``.
+"""
+
+from repro.obs.profile import (
+    flame_summary,
+    phase_rows,
+    phase_table,
+    span_tree,
+    top_spans,
+    top_spans_table,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    metrics,
+    metrics_scope,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    read_jsonl,
+    recorder,
+    set_recorder,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "Timer",
+    "TraceRecorder",
+    "flame_summary",
+    "metrics",
+    "metrics_scope",
+    "phase_rows",
+    "phase_table",
+    "read_jsonl",
+    "recorder",
+    "set_metrics",
+    "set_recorder",
+    "span_tree",
+    "top_spans",
+    "top_spans_table",
+    "tracing",
+]

@@ -1,0 +1,190 @@
+"""Aggregate trace spans into per-phase profiles and flame summaries.
+
+All functions accept either live :class:`repro.obs.trace.Span` objects or
+the plain-dict records loaded back from JSONL — so ``repro profile`` can
+run in-process and offline traces can be analysed identically.
+"""
+
+from __future__ import annotations
+
+from repro.utils.tables import format_table
+
+
+def _as_records(spans) -> list[dict]:
+    records = []
+    for span in spans:
+        if isinstance(span, dict):
+            records.append(span)
+        else:
+            records.append(span.to_record())
+    return records
+
+
+def _children_index(records: list[dict]) -> dict:
+    children: dict = {}
+    for record in records:
+        children.setdefault(record["parent"], []).append(record)
+    return children
+
+
+def phase_rows(spans) -> list[dict]:
+    """Aggregate spans by phase name.
+
+    Returns one dict per phase with call count, total and self time (self
+    excludes time spent in child spans), and the total / self hop, byte
+    and message counters. Rows are sorted by descending self time, then
+    name, so the dominant phase leads.
+    """
+    records = _as_records(spans)
+    children = _children_index(records)
+    phases: dict[str, dict] = {}
+    for record in records:
+        kids = children.get(record["id"], [])
+        self_time = record["duration"] - sum(k["duration"] for k in kids)
+        counts = record.get("counts", {})
+        self_counts = {
+            key: counts.get(key, 0)
+            - sum(k.get("counts", {}).get(key, 0) for k in kids)
+            for key in counts
+        }
+        row = phases.setdefault(
+            record["span"],
+            {
+                "phase": record["span"],
+                "calls": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+                "hops": 0,
+                "bytes": 0,
+                "messages": 0,
+                "self_hops": 0,
+                "self_bytes": 0,
+            },
+        )
+        row["calls"] += 1
+        row["total_s"] += record["duration"]
+        row["self_s"] += self_time
+        row["hops"] += counts.get("hops", 0)
+        row["bytes"] += counts.get("bytes", 0)
+        row["messages"] += counts.get("messages", 0)
+        row["self_hops"] += self_counts.get("hops", 0)
+        row["self_bytes"] += self_counts.get("bytes", 0)
+    return sorted(
+        phases.values(), key=lambda r: (-r["self_s"], r["phase"])
+    )
+
+
+def phase_table(spans, *, title: str | None = None) -> str:
+    """Render :func:`phase_rows` as an ASCII table (time/hops/bytes)."""
+    rows = phase_rows(spans)
+    if not rows:
+        return (title or "profile") + ": no spans recorded"
+    wall = sum(r["self_s"] for r in rows)
+    headers = [
+        "phase", "calls", "total_s", "self_s", "self_%",
+        "hops", "bytes", "messages",
+    ]
+    body = []
+    for row in rows:
+        share = (row["self_s"] / wall * 100.0) if wall > 0 else 0.0
+        body.append([
+            row["phase"], row["calls"], round(row["total_s"], 6),
+            round(row["self_s"], 6), round(share, 1),
+            row["hops"], row["bytes"], row["messages"],
+        ])
+    return format_table(headers, body, title=title, precision=6)
+
+
+def top_spans(spans, k: int = 10) -> list[dict]:
+    """The ``k`` individually slowest spans (records, longest first)."""
+    records = _as_records(spans)
+    ranked = sorted(records, key=lambda r: (-r["duration"], r["id"]))
+    return ranked[: max(k, 0)]
+
+
+def top_spans_table(spans, k: int = 10, *, title: str | None = None) -> str:
+    """Render :func:`top_spans` as an ASCII table."""
+    ranked = top_spans(spans, k)
+    if not ranked:
+        return (title or "top spans") + ": no spans recorded"
+    headers = ["span", "duration_s", "hops", "bytes", "attrs"]
+    body = []
+    for record in ranked:
+        attrs = record.get("attrs", {})
+        attr_text = ", ".join(
+            f"{key}={attrs[key]}" for key in sorted(attrs)
+        )
+        if len(attr_text) > 48:
+            attr_text = attr_text[:45] + "..."
+        counts = record.get("counts", {})
+        body.append([
+            record["span"], round(record["duration"], 6),
+            counts.get("hops", 0), counts.get("bytes", 0), attr_text,
+        ])
+    return format_table(headers, body, title=title, precision=6)
+
+
+def span_tree(spans) -> list[dict]:
+    """Nest records into trees: each node gains a ``children`` list.
+
+    Returns the list of roots in start order. Works on JSONL records —
+    this is the round-trip complement of ``TraceRecorder.write_jsonl``.
+    """
+    records = [dict(record) for record in _as_records(spans)]
+    by_id = {record["id"]: record for record in records}
+    roots: list[dict] = []
+    for record in records:
+        record.setdefault("children", [])
+    for record in records:
+        parent = by_id.get(record["parent"])
+        if parent is None:
+            roots.append(record)
+        else:
+            parent["children"].append(record)
+    return roots
+
+
+def flame_summary(spans, *, max_depth: int | None = None) -> str:
+    """Aggregated call-tree summary, one line per (path, phase).
+
+    Sibling spans with the same name merge (calls accumulate); indent
+    encodes depth. Durations are totals across the merged calls.
+    """
+    roots = span_tree(spans)
+    if not roots:
+        return "(no spans recorded)"
+    lines: list[str] = []
+
+    def walk(nodes: list[dict], depth: int) -> None:
+        if max_depth is not None and depth >= max_depth:
+            return
+        merged: dict[str, dict] = {}
+        order: list[str] = []
+        for node in nodes:
+            slot = merged.get(node["span"])
+            if slot is None:
+                merged[node["span"]] = {
+                    "calls": 1,
+                    "total": node["duration"],
+                    "hops": node.get("counts", {}).get("hops", 0),
+                    "bytes": node.get("counts", {}).get("bytes", 0),
+                    "children": list(node["children"]),
+                }
+                order.append(node["span"])
+            else:
+                slot["calls"] += 1
+                slot["total"] += node["duration"]
+                slot["hops"] += node.get("counts", {}).get("hops", 0)
+                slot["bytes"] += node.get("counts", {}).get("bytes", 0)
+                slot["children"].extend(node["children"])
+        for name in order:
+            slot = merged[name]
+            lines.append(
+                f"{'  ' * depth}{name}  calls={slot['calls']} "
+                f"total={slot['total']:.6f}s hops={slot['hops']} "
+                f"bytes={slot['bytes']}"
+            )
+            walk(slot["children"], depth + 1)
+
+    walk(roots, 0)
+    return "\n".join(lines)

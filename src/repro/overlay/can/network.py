@@ -9,6 +9,7 @@ import numpy as np
 from repro.exceptions import EmptyNetworkError, OverlayError, ValidationError
 from repro.net.messages import MessageKind, vector_message_size
 from repro.net.network import Network
+from repro.obs import trace as obs_trace
 from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
 from repro.overlay.can.node import CANNode
 from repro.overlay.can.routing import route_to_owner
@@ -403,6 +404,11 @@ class CANNetwork(Overlay):
         self.fabric.finish_operation(
             MessageKind.RANGE_QUERY, len(path) + flood_hops
         )
+        recorder = obs_trace.state.recorder
+        if recorder.enabled:
+            recorder.add(
+                flood_hops=flood_hops, zones_visited=len(order)
+            )
         return RangeReceipt(
             entries=list(seen_entries.values()),
             routing_hops=len(path),

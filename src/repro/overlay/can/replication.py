@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.net.messages import MessageKind, vector_message_size
+from repro.obs import trace as obs_trace
 from repro.overlay.base import StoredEntry
 
 
@@ -46,4 +47,7 @@ def replicate_sphere(
             network.node(neighbor_id).add_entry(entry)
             replicas.append(neighbor_id)
             queue.append(neighbor_id)
+    recorder = obs_trace.state.recorder
+    if recorder.enabled:
+        recorder.add(replica_hops=len(replicas))
     return replicas

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import RoutingError
+from repro.obs import trace as obs_trace
 
 
 def _snapshot_distance(zones, point: np.ndarray) -> float:
@@ -55,6 +56,7 @@ def route_to_owner(
     visited = {start_id}
     stack = [start_id]
     path: list[int] = []
+    backtracks = 0
     max_steps = max(8 * len(network.node_ids), 64)
     while stack:
         if len(path) > max_steps:
@@ -63,6 +65,11 @@ def route_to_owner(
             )
         current = network.node(stack[-1])
         if current.contains(point):
+            recorder = obs_trace.state.recorder
+            if recorder.enabled:
+                recorder.add(
+                    routing_hops=len(path), routing_backtracks=backtracks
+                )
             return current.node_id, path
         candidates = sorted(
             (_snapshot_distance(zones, point), node_id)
@@ -76,6 +83,7 @@ def route_to_owner(
             path.append(next_id)
         else:
             stack.pop()
+            backtracks += 1
             if stack:
                 path.append(stack[-1])  # backtrack message
     raise RoutingError(

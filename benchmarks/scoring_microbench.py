@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Scoring microbenchmark: batched vs scalar Eq. 1 ``level_scores``.
+
+Builds one level's worth of cluster-sphere entries (default: 10,000
+spheres in the paper's d = 512 feature space), scores them against a
+query sphere with both the scalar oracle and the vectorized kernel path,
+and verifies three things before reporting timings:
+
+* per-peer scores agree to 1e-9 relative;
+* the Theorem 4.1 filter accounting (candidates / pruned / surviving) is
+  identical between the two paths;
+* the batched path meets the required speedup (default 5x).
+
+Timings run under PR 1's :class:`TraceRecorder`, so the emitted JSON
+(``BENCH_scoring.json`` by default) carries the same per-phase rows the
+``repro profile`` command prints; CI uploads it as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scoring_microbench.py
+    PYTHONPATH=src python benchmarks/scoring_microbench.py \
+        --spheres 20000 --repeats 5 --min-speedup 5 --out BENCH_scoring.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core import scoring
+from repro.core.results import ClusterRecord
+from repro.core.scoring import level_scores, level_scores_scalar
+from repro.obs import TraceRecorder, tracing
+from repro.obs.profile import phase_rows
+from repro.overlay.base import StoredEntry
+
+
+def build_entries(
+    n: int, d: int, n_peers: int, rng: np.random.Generator
+) -> list[StoredEntry]:
+    """Random cluster spheres in the unit cube, as overlay entries."""
+    keys = rng.random((n, d))
+    radii = rng.uniform(0.0, 0.4, n)
+    items = rng.integers(1, 50, n)
+    peers = rng.integers(0, n_peers, n)
+    return [
+        StoredEntry(
+            key=keys[i],
+            radius=float(radii[i]),
+            value=ClusterRecord(
+                peer_id=int(peers[i]), items=int(items[i]), level_name="A"
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+def pick_query(entries, d: int, rng: np.random.Generator):
+    """A query sphere whose radius splits the candidate set.
+
+    In d = 512 the distances between uniform points concentrate hard, so
+    the radius is set from the observed distance distribution rather than
+    a fixed constant — the benchmark then exercises both the pruning and
+    the scoring arms (roughly half the spheres survive).
+    """
+    center = rng.random(d)
+    dists = np.array(
+        [float(np.linalg.norm(e.key - center)) for e in entries[:512]]
+    )
+    eps = float(np.median(dists))
+    return center, eps
+
+
+def time_best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def parity_error(batch: dict, scalar: dict) -> float:
+    if set(batch) != set(scalar):
+        return float("inf")
+    worst = 0.0
+    for peer, truth in scalar.items():
+        denom = max(abs(truth), 1e-300)
+        worst = max(worst, abs(batch[peer] - truth) / denom)
+    return worst
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spheres", type=int, default=10_000,
+                        help="cluster spheres per level (default 10000)")
+    parser.add_argument("--dim", type=int, default=512,
+                        help="subspace dimensionality (default 512)")
+    parser.add_argument("--peers", type=int, default=64,
+                        help="distinct publishing peers (default 64)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of wins (default 3)")
+    parser.add_argument("--scalar-subset", type=int, default=None,
+                        help="time the scalar oracle on this many spheres "
+                             "and extrapolate (default: the full set)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail below this batch/scalar ratio (default 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_scoring.json",
+                        help="JSON report path (default BENCH_scoring.json)")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    entries = build_entries(args.spheres, args.dim, args.peers, rng)
+    center, eps = pick_query(entries, args.dim, rng)
+    print(f"scoring {args.spheres} spheres, d={args.dim}, eps={eps:.3f}")
+
+    # Correctness gate first: scores and accounting must agree before any
+    # timing is worth reporting.
+    batch_stats: dict = {}
+    scalar_stats: dict = {}
+    batch_scores = level_scores(entries, center, eps, stats=batch_stats)
+    scalar_scores = level_scores_scalar(
+        entries, center, eps, stats=scalar_stats
+    )
+    max_rel_err = parity_error(batch_scores, scalar_scores)
+    stats_match = batch_stats == scalar_stats
+    print(f"parity: max relative error {max_rel_err:.3e} "
+          f"over {len(scalar_scores)} peers; stats match: {stats_match}")
+    print(f"filter: {batch_stats}")
+    if not stats_match or max_rel_err > 1e-9:
+        print("FAIL: batch path does not reproduce the scalar oracle")
+        return 1
+
+    scalar_n = min(args.scalar_subset or args.spheres, args.spheres)
+    scalar_entries = entries[:scalar_n]
+    recorder = TraceRecorder()
+    with tracing(recorder):
+        with recorder.span("scalar", spheres=scalar_n):
+            scalar_s = time_best_of(
+                lambda: level_scores_scalar(scalar_entries, center, eps),
+                args.repeats,
+            )
+        # Cold call: pays the one-off stacking pass over the entry list.
+        scoring._STACK_CACHE.clear()
+        with recorder.span("batch_cold", spheres=args.spheres):
+            start = time.perf_counter()
+            level_scores(entries, center, eps)
+            cold_s = time.perf_counter() - start
+        # Warm calls reuse the cached stacked arrays — the steady state
+        # when a candidate set is re-scored across a query batch.
+        with recorder.span("batch", spheres=args.spheres):
+            batch_s = time_best_of(
+                lambda: level_scores(entries, center, eps), args.repeats
+            )
+    scalar_full_s = scalar_s * (args.spheres / scalar_n)
+    speedup = scalar_full_s / batch_s if batch_s > 0 else float("inf")
+    cold_speedup = scalar_full_s / cold_s if cold_s > 0 else float("inf")
+    per_sphere_ns = batch_s / args.spheres * 1e9
+    print(f"scalar:       {scalar_full_s * 1e3:9.2f} ms"
+          + (f"  (extrapolated from {scalar_n})" if scalar_n < args.spheres
+             else ""))
+    print(f"batch (cold): {cold_s * 1e3:9.2f} ms  "
+          f"({cold_speedup:.1f}x; includes the one-off stacking pass)")
+    print(f"batch (warm): {batch_s * 1e3:9.2f} ms  "
+          f"({per_sphere_ns:.0f} ns/sphere)")
+    print(f"speedup: {speedup:.1f}x warm (required: {args.min_speedup:.1f}x)")
+
+    report = {
+        "benchmark": "scoring_microbench",
+        "spheres": args.spheres,
+        "dim": args.dim,
+        "peers": args.peers,
+        "epsilon": eps,
+        "seed": args.seed,
+        "scalar_s": scalar_full_s,
+        "scalar_timed_spheres": scalar_n,
+        "batch_cold_s": cold_s,
+        "batch_s": batch_s,
+        "speedup": speedup,
+        "cold_speedup": cold_speedup,
+        "min_speedup": args.min_speedup,
+        "parity_max_rel_err": max_rel_err,
+        "stats": batch_stats,
+        "phases": phase_rows(recorder.spans),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below "
+              f"required {args.min_speedup:.1f}x")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

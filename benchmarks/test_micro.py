@@ -68,3 +68,37 @@ def test_micro_can_range_query(benchmark):
         can.range_query(ids[0], next(centers), 0.15)
 
     benchmark.pedantic(query_one, rounds=200, iterations=1)
+
+
+def test_micro_intersection_fraction_batch(benchmark):
+    """Eq. 7 over 10,000 sphere pairs at d=512 in one vectorized call."""
+    from repro.geometry.batch import intersection_fraction_batch
+
+    rng = np.random.default_rng(3)
+    radii = rng.uniform(0.0, 0.4, 10_000)
+    dists = rng.uniform(8.0, 10.5, 10_000)
+    benchmark(intersection_fraction_batch, radii, 9.2, dists, 512)
+
+
+def test_micro_level_scores_batch(benchmark):
+    """Batched Eq. 1 scoring of 10,000 candidate spheres at d=512 (warm
+    stacked-array cache — the steady state across a query batch)."""
+    from repro.core.results import ClusterRecord
+    from repro.core.scoring import level_scores
+    from repro.overlay.base import StoredEntry
+
+    rng = np.random.default_rng(4)
+    keys = rng.random((10_000, 512))
+    entries = [
+        StoredEntry(
+            key=keys[i],
+            radius=float(rng.uniform(0.0, 0.4)),
+            value=ClusterRecord(
+                peer_id=int(rng.integers(64)), items=10, level_name="A"
+            ),
+        )
+        for i in range(10_000)
+    ]
+    center = rng.random(512)
+    level_scores(entries, center, 9.2)  # warm the cache
+    benchmark(level_scores, entries, center, 9.2)

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig8b --json
     python -m repro trace fig8b --out trace.jsonl
     python -m repro profile fig8b --scale quick
+    python -m repro profile fig8b --json
     python -m repro all
 
 Each experiment prints the same series its benchmark target produces.
@@ -47,7 +48,13 @@ from repro.evaluation.reporting import (
     series_to_table,
 )
 from repro.obs import TraceRecorder, tracing
-from repro.obs.profile import flame_summary, phase_table, top_spans_table
+from repro.obs.profile import (
+    flame_summary,
+    phase_rows,
+    phase_table,
+    top_spans,
+    top_spans_table,
+)
 from repro.obs.registry import metrics_scope
 from repro.utils.ascii_plot import line_chart
 from repro.utils.tables import format_table
@@ -423,6 +430,17 @@ def _cmd_profile(args) -> int:
     recorder = TraceRecorder()
     with metrics_scope() as registry, tracing(recorder):
         builder(args)
+    if getattr(args, "json", False):
+        payload = {
+            "experiment": args.experiment,
+            "scale": args.scale,
+            "seed": args.seed,
+            "phases": phase_rows(recorder.spans),
+            "top": top_spans(recorder.spans, args.top),
+            "metrics": registry.snapshot(),
+        }
+        print(json.dumps(payload, indent=2, default=_json_default))
+        return 0
     print(phase_table(
         recorder.spans,
         title=f"profile — {args.experiment} ({args.scale} scale)",

@@ -47,7 +47,12 @@ class KMeansResult:
         return int(self.centroids.shape[0])
 
     def cluster_sizes(self) -> np.ndarray:
-        """``(k,)`` array with the number of points per cluster."""
+        """``(k,)`` array with the number of points per cluster.
+
+        Every entry is >= 1: empty clusters are repaired before a result
+        is returned (:func:`_resolve_empty_clusters`), so downstream
+        sphere construction never sees a memberless centroid.
+        """
         return np.bincount(self.labels, minlength=self.k)
 
 
@@ -160,6 +165,15 @@ def _kmeans_single(
             break
     d2 = _pairwise_sq_dists(points, centroids)
     labels = d2.argmin(axis=1)
+    # The final argmin can silently undo the empty-cluster repairs made
+    # inside the loop (argmin tie-breaks to the lowest index, so a point a
+    # repaired centroid was re-seeded on may snap back to a duplicate
+    # centroid, leaving the repaired cluster empty again). Re-run the
+    # repair on the *final* assignment so the invariant holds on what we
+    # actually return.
+    labels = _resolve_empty_clusters(points, centroids, labels, d2)
+    counts = np.bincount(labels, minlength=centroids.shape[0])
+    assert counts.min() >= 1, "k-means produced an empty cluster"
     inertia = float(d2[np.arange(points.shape[0]), labels].sum())
     return KMeansResult(
         centroids=centroids,
@@ -168,6 +182,48 @@ def _kmeans_single(
         iterations=iterations,
         converged=converged,
     )
+
+
+def _resolve_empty_clusters(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    d2: np.ndarray,
+) -> np.ndarray:
+    """Give every cluster at least one member after the final assignment.
+
+    Preference order per empty cluster:
+
+    1. a point *tied* at its current minimal distance with the empty
+       centroid — the duplicate-centroid case the final argmin creates
+       when it snaps a repaired cluster's seed point back to a lower
+       cluster index; moving such a point changes no distances;
+    2. otherwise, the nearest point from any multi-member cluster, with
+       the centroid re-seeded on it (so the moved point is trivially
+       nearest to its new cluster).
+
+    Mutates ``labels``, ``centroids`` and ``d2`` in place and returns
+    ``labels``. Always succeeds because ``n >= k``.
+    """
+    n, k = d2.shape
+    counts = np.bincount(labels, minlength=k)
+    assigned = d2[np.arange(n), labels]
+    for idx in np.flatnonzero(counts == 0):
+        movable = counts[labels] > 1
+        tied = movable & (d2[:, idx] <= assigned + 1e-12)
+        if tied.any():
+            victim = int(np.flatnonzero(tied)[0])
+        else:
+            candidates = np.where(movable, d2[:, idx], np.inf)
+            victim = int(candidates.argmin())
+            centroids[idx] = points[victim]
+            diff = points - centroids[idx]
+            d2[:, idx] = np.einsum("ij,ij->i", diff, diff)
+        counts[labels[victim]] -= 1
+        labels[victim] = idx
+        counts[idx] += 1
+        assigned[victim] = d2[victim, idx]
+    return labels
 
 
 def _update_centroids(

@@ -105,6 +105,13 @@ def summarize_peer_data(
         ) as span:
             result = kmeans(coeffs, k, rng=child, n_init=n_init)
             spheres[level] = spheres_from_clustering(coeffs, result)
+            if len(spheres[level]) != result.k:
+                # k-means guarantees non-empty clusters; a dropped sphere
+                # here would mean items silently vanish from the index.
+                raise ClusteringError(
+                    f"level {level}: {result.k - len(spheres[level])} empty "
+                    "cluster(s) produced degenerate spheres"
+                )
             span.set(
                 clusters=len(spheres[level]),
                 mean_radius=float(

@@ -13,6 +13,11 @@ a-priori. We discover clusters with geometrically expanding overlay range
 queries until the discovered spheres are expected to supply ``k`` items
 (or the query covers the whole key space), then invert Eq. 8 over what was
 found — every probe's hops are charged to the index cost.
+
+Query translation (the per-level DWT + key-space mapping) is shared with
+the range path through :func:`repro.core.queries._query_keys`'s per-query
+cache, so the exact-refinement follow-up range queries reuse the k-NN
+query's translated spheres instead of re-decomposing the vector.
 """
 
 from __future__ import annotations

@@ -14,6 +14,8 @@ A range query runs in two phases:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.results import RangeQueryResult, sort_items_by_distance
@@ -27,13 +29,37 @@ from repro.wavelets.bounds import key_space_radius, radius_scale, to_unit_cube
 from repro.wavelets.multiresolution import decompose
 
 
-def _query_keys(network, query: np.ndarray) -> dict:
-    """Translate ``query`` into each published level's key space."""
+@lru_cache(maxsize=512)
+def _translate_query_cached(levels: tuple, query_bytes: bytes) -> tuple:
+    """Decompose a query and map it into each level's key space, memoized.
+
+    The key is the raw query bytes plus the level tuple, so repeated
+    queries with the same vector — the k-NN heuristic followed by its
+    exact refinement, recall sweeps re-running one query against many
+    ``max_peers`` settings — skip the DWT and affine mapping entirely.
+    Cached arrays are marked read-only: every consumer treats them as
+    values, and the flag turns an accidental in-place edit into an error
+    instead of silent cache corruption.
+    """
+    query = np.frombuffer(query_bytes, dtype=np.float64)
     decomposition = decompose(query)
-    keys = {}
-    for level in network.levels:
-        keys[level] = np.clip(to_unit_cube(decomposition[level], level), 0.0, 1.0)
-    return keys
+    keys = []
+    for level in levels:
+        key = np.clip(to_unit_cube(decomposition[level], level), 0.0, 1.0)
+        key.setflags(write=False)
+        keys.append(key)
+    return tuple(keys)
+
+
+def _query_keys(network, query: np.ndarray) -> dict:
+    """Translate ``query`` into each published level's key space.
+
+    Shared by the range and k-NN paths (and by the k-NN exact refinement's
+    repeated range queries) through a per-query LRU cache.
+    """
+    query = np.ascontiguousarray(query, dtype=np.float64)
+    levels = tuple(network.levels)
+    return dict(zip(levels, _translate_query_cached(levels, query.tobytes())))
 
 
 def _default_origin(network) -> int:

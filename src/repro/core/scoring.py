@@ -6,6 +6,17 @@ sphere times the cluster's item count::
 
     Score_l(p) = sum_c  Vol(sphere_c ∩ sphere_q) / Vol(sphere_c) * items_c
 
+:func:`level_scores` evaluates this with the vectorized kernels in
+:mod:`repro.geometry.batch`: one level's candidate entries are stacked into
+key/radius/item arrays (cached across calls for an unchanged candidate
+set — see :func:`_stack_entries`), centre distances come from one BLAS
+matvec, every cluster sphere is scored in a single
+``intersection_fraction_batch`` call, and the per-peer sums reduce with a
+``bincount`` over unique peer ids. :func:`level_scores_scalar` keeps the
+original one-sphere-at-a-time path as the numerical oracle — the property
+tests and the scoring microbenchmark pin the two to 1e-9, with identical
+candidate/pruned/surviving accounting.
+
 Cross-level aggregation uses the paper's *minimum-score* policy by default
 (Section 3.2): a peer must look relevant at **every** level; Theorem 4.1
 guarantees this prunes no true range-query answers. ``sum`` and
@@ -15,16 +26,87 @@ guarantees this prunes no true range-query answers. ``sum`` and
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.geometry.intersection import intersection_fraction
+from repro.geometry.batch import (
+    intersection_fraction_batch,
+    spheres_intersect_batch,
+)
+from repro.geometry.intersection import intersection_fraction, spheres_intersect
 
 #: Floor applied to the per-cluster fraction of an *intersecting* cluster so
 #: a tangential touch never zeroes a peer out of the min-aggregation (which
-#: would break the Theorem 4.1 no-false-dismissal guarantee).
+#: would break the Theorem 4.1 no-false-dismissal guarantee). With the
+#: log-space volume ratios, positive-volume overlaps always score their true
+#: (possibly tiny) fraction; the floor only catches zero-volume tangencies
+#: inside the shared :data:`repro.geometry.intersection.INTERSECTION_SLACK`
+#: band.
 MIN_INTERSECTING_FRACTION = 1e-9
+
+
+def _fill_stats(stats: dict | None, candidates: int, pruned: int) -> None:
+    if stats is not None:
+        stats["candidates"] = candidates
+        stats["pruned"] = pruned
+        stats["surviving"] = candidates - pruned
+
+
+@dataclass
+class _EntryBlock:
+    """One candidate set's fields stacked into arrays, plus the entry list
+    itself (a strong reference: the cache below keys blocks by the entries'
+    ``id()``s, which stay valid exactly as long as the objects are alive)."""
+
+    entries: list
+    keys: np.ndarray
+    radii: np.ndarray
+    items: np.ndarray
+    peer_ids: np.ndarray
+    key_sq: np.ndarray  # per-row squared norms, for the BLAS distance form
+
+
+#: Stacking 10k+ entries costs one Python-loop pass over the candidate set
+#: — more than the vectorized scoring itself. Entries are immutable once
+#: stored, so an unchanged candidate set (the same level re-scored across a
+#: query batch, an evaluation sweep, or the microbenchmark's repeats) can
+#: reuse its arrays. Keyed by the tuple of entry ids; bounded LRU.
+_STACK_CACHE: OrderedDict[tuple, _EntryBlock] = OrderedDict()
+_STACK_CACHE_SIZE = 4
+
+
+def _stack_entries(entries: list, d: int) -> _EntryBlock:
+    token = tuple(map(id, entries))
+    block = _STACK_CACHE.get(token)
+    if block is not None:
+        _STACK_CACHE.move_to_end(token)
+        return block
+    n = len(entries)
+    keys = np.empty((n, d), dtype=np.float64)
+    radii = np.empty(n, dtype=np.float64)
+    items = np.empty(n, dtype=np.float64)
+    peer_ids = np.empty(n, dtype=np.int64)
+    for i, entry in enumerate(entries):
+        keys[i] = entry.key
+        radii[i] = entry.radius
+        record = entry.value
+        items[i] = record.items
+        peer_ids[i] = record.peer_id
+    block = _EntryBlock(
+        entries=entries,
+        keys=keys,
+        radii=radii,
+        items=items,
+        peer_ids=peer_ids,
+        key_sq=np.einsum("ij,ij->i", keys, keys),
+    )
+    _STACK_CACHE[token] = block
+    while len(_STACK_CACHE) > _STACK_CACHE_SIZE:
+        _STACK_CACHE.popitem(last=False)
+    return block
 
 
 def level_scores(
@@ -34,7 +116,7 @@ def level_scores(
     *,
     stats: dict | None = None,
 ) -> dict[int, float]:
-    """Eq. 1 scores per peer for one level's index-query results.
+    """Eq. 1 scores per peer for one level's index-query results (batched).
 
     Parameters
     ----------
@@ -52,25 +134,71 @@ def level_scores(
         Figure-style analyses report per level.
     """
     query_center = np.asarray(query_center, dtype=np.float64)
+    d = int(query_center.shape[0])
+    n = len(entries)
+    if n == 0:
+        _fill_stats(stats, 0, 0)
+        return {}
+
+    block = _stack_entries(entries, d)
+    # ||k - q||^2 = ||k||^2 - 2 k.q + ||q||^2 — one BLAS matvec instead of
+    # materialising the (n, d) difference matrix (at d = 512 the subtraction
+    # alone costs more than the whole Eq. 1 kernel).
+    d2 = block.key_sq - 2.0 * (block.keys @ query_center)
+    d2 += float(query_center @ query_center)
+    np.maximum(d2, 0.0, out=d2)
+    dists = np.sqrt(d2)
+    intersecting = spheres_intersect_batch(block.radii, query_radius, dists)
+    pruned = n - int(np.count_nonzero(intersecting))
+    _fill_stats(stats, n, pruned)
+    if pruned == n:
+        return {}
+
+    fractions = intersection_fraction_batch(
+        block.radii[intersecting], query_radius, dists[intersecting], d
+    )
+    np.maximum(fractions, MIN_INTERSECTING_FRACTION, where=fractions <= 0.0,
+               out=fractions)
+    contributions = fractions * block.items[intersecting]
+    unique_peers, inverse = np.unique(
+        block.peer_ids[intersecting], return_inverse=True
+    )
+    totals = np.bincount(inverse, weights=contributions)
+    return {
+        int(peer): float(total)
+        for peer, total in zip(unique_peers, totals)
+    }
+
+
+def level_scores_scalar(
+    entries: list,
+    query_center: np.ndarray,
+    query_radius: float,
+    *,
+    stats: dict | None = None,
+) -> dict[int, float]:
+    """One-sphere-at-a-time Eq. 1 — the oracle for :func:`level_scores`.
+
+    Same contract and same accounting as the batched path; kept as the
+    ground truth for the parity tests and the scoring microbenchmark.
+    """
+    query_center = np.asarray(query_center, dtype=np.float64)
     d = query_center.shape[0]
     scores: dict[int, float] = {}
     pruned = 0
     for entry in entries:
         record = entry.value
         b = float(np.linalg.norm(entry.key - query_center))
+        if not spheres_intersect(entry.radius, query_radius, b):
+            pruned += 1
+            continue  # genuinely disjoint: contributes nothing
         fraction = intersection_fraction(entry.radius, query_radius, b, d)
         if fraction <= 0.0:
-            if b > entry.radius + query_radius + 1e-12:
-                pruned += 1
-                continue  # genuinely disjoint: contributes nothing
             fraction = MIN_INTERSECTING_FRACTION
         scores[record.peer_id] = (
             scores.get(record.peer_id, 0.0) + fraction * record.items
         )
-    if stats is not None:
-        stats["candidates"] = len(entries)
-        stats["pruned"] = pruned
-        stats["surviving"] = len(entries) - pruned
+    _fill_stats(stats, len(entries), pruned)
     return scores
 
 

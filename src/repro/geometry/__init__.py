@@ -6,24 +6,38 @@ inversion of Equation 8 that turns a requested result count ``k`` into a
 range-query radius ``ε`` for the k-NN heuristic.
 """
 
+from repro.geometry.batch import (
+    cap_fraction_batch,
+    intersection_fraction_batch,
+    spheres_intersect_batch,
+)
 from repro.geometry.epsilon import (
     estimate_epsilon_for_k,
     expected_items,
 )
 from repro.geometry.intersection import (
+    INTERSECTION_SLACK,
+    TINY_FRACTION,
     cap_fraction,
     cap_fraction_series_even,
     intersection_fraction,
+    spheres_intersect,
 )
 from repro.geometry.montecarlo import monte_carlo_intersection_fraction
 from repro.geometry.sphere import ball_volume, unit_ball_volume
 
 __all__ = [
+    "INTERSECTION_SLACK",
+    "TINY_FRACTION",
     "ball_volume",
     "unit_ball_volume",
     "cap_fraction",
+    "cap_fraction_batch",
     "cap_fraction_series_even",
     "intersection_fraction",
+    "intersection_fraction_batch",
+    "spheres_intersect",
+    "spheres_intersect_batch",
     "expected_items",
     "estimate_epsilon_for_k",
     "monte_carlo_intersection_fraction",

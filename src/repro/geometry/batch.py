@@ -1,0 +1,158 @@
+"""Vectorized Eq. 5–7 kernels over NumPy arrays — the retrieval hot path.
+
+The scalar functions in :mod:`repro.geometry.intersection` evaluate one
+sphere pair per call; the index phase of every query evaluates one pair per
+cluster sphere per level, which PR 1's profiler shows dominating query
+time. These kernels score whole candidate sets in one shot:
+
+* :func:`cap_fraction_batch` — the regularised-incomplete-beta cap
+  fraction over an array of angles;
+* :func:`intersection_fraction_batch` — Eq. 6/7 over arrays of data-sphere
+  radii and centre distances (one query sphere against many candidates),
+  with the same degenerate-placement handling and the same log-space
+  volume-ratio computation as the scalar form;
+* :func:`spheres_intersect_batch` — the shared disjointness predicate
+  (:data:`repro.geometry.intersection.INTERSECTION_SLACK`) as a mask.
+
+The scalar functions remain the oracle: the property tests in
+``tests/test_geometry_batch.py`` pin the batch kernels to them to 1e-9
+over randomized ``(r, eps, b, d)`` grids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import betainc
+
+from repro.exceptions import ValidationError
+from repro.geometry.intersection import INTERSECTION_SLACK, TINY_FRACTION
+
+
+def _check_dimension(d: int) -> int:
+    if d < 1 or d != int(d):
+        raise ValidationError(f"dimension must be a positive integer, got {d}")
+    return int(d)
+
+
+def cap_fraction_batch(alpha: np.ndarray, d: int) -> np.ndarray:
+    """Vectorized :func:`repro.geometry.intersection.cap_fraction`.
+
+    Parameters
+    ----------
+    alpha:
+        Array of cap half-angles in ``[0, pi]``.
+    d:
+        Ball dimensionality (scalar; one kernel call serves one subspace).
+    """
+    d = _check_dimension(d)
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if alpha.size and (
+        float(alpha.min()) < 0.0 or float(alpha.max()) > math.pi + 1e-12
+    ):
+        raise ValidationError("alpha values must be in [0, pi]")
+    clipped = np.minimum(alpha, math.pi)
+    # Caps beyond a hemisphere are the complement of the opposite cap.
+    lower = clipped <= math.pi / 2.0
+    folded = np.where(lower, clipped, math.pi - clipped)
+    s = np.sin(folded)
+    base = 0.5 * betainc((d + 1) / 2.0, 0.5, s * s)
+    return np.where(lower, base, 1.0 - base)
+
+
+def spheres_intersect_batch(
+    data_radii: np.ndarray, query_radius: float, center_distances: np.ndarray
+) -> np.ndarray:
+    """Boolean mask of candidates intersecting the query sphere.
+
+    Uses the same :data:`INTERSECTION_SLACK` boundary as the scalar
+    :func:`repro.geometry.intersection.spheres_intersect`, so pruning
+    accounting computed from this mask agrees with the geometry and with
+    the overlay's entry filter.
+    """
+    r = np.asarray(data_radii, dtype=np.float64)
+    b = np.asarray(center_distances, dtype=np.float64)
+    return b <= r + float(query_radius) + INTERSECTION_SLACK
+
+
+def intersection_fraction_batch(
+    data_radii: np.ndarray,
+    query_radius: float,
+    center_distances: np.ndarray,
+    d: int,
+) -> np.ndarray:
+    """``Vol(sphere_c ∩ sphere_q) / Vol(sphere_c)`` for many candidates.
+
+    Parameters
+    ----------
+    data_radii:
+        Array of data-sphere radii ``r`` (0 allowed for singletons).
+    query_radius:
+        Scalar query radius ``ε`` (one query sphere per call).
+    center_distances:
+        Array of centre distances ``b``, broadcast-compatible with
+        ``data_radii``.
+    d:
+        Dimensionality of the subspace.
+
+    Returns
+    -------
+    ndarray of float in [0, 1]
+        Elementwise volume fractions, matching the scalar
+        :func:`repro.geometry.intersection.intersection_fraction` (the
+        volume-ratio terms are computed in log space, and intersecting
+        pairs never underflow to 0.0 — they clamp at
+        :data:`repro.geometry.intersection.TINY_FRACTION`).
+    """
+    d = _check_dimension(d)
+    eps = float(query_radius)
+    if eps < 0.0 or not math.isfinite(eps):
+        raise ValidationError(f"query_radius must be >= 0, got {query_radius}")
+    r, b = np.broadcast_arrays(
+        np.asarray(data_radii, dtype=np.float64),
+        np.asarray(center_distances, dtype=np.float64),
+    )
+    if r.size and (float(r.min()) < 0.0 or float(b.min()) < 0.0):
+        raise ValidationError("radii and distances must be >= 0")
+
+    out = np.zeros(r.shape, dtype=np.float64)
+    point = r == 0.0
+    out[point] = (b[point] <= eps).astype(np.float64)
+
+    overlapping = ~point & (b < r + eps)
+    inside_query = overlapping & (b + r <= eps)
+    out[inside_query] = 1.0
+    inside_data = overlapping & ~inside_query & (b + eps <= r)
+    if inside_data.any():
+        if eps == 0.0:
+            out[inside_data] = TINY_FRACTION
+        else:
+            # ratio can underflow to 0.0 for subnormal eps; the log -> -inf
+            # and exp -> 0.0 chain then lands on the TINY clamp, matching
+            # the scalar guard.
+            ratio = eps / r[inside_data]
+            with np.errstate(divide="ignore"):
+                out[inside_data] = np.maximum(
+                    np.exp(d * np.log(ratio)), TINY_FRACTION
+                )
+
+    lens = overlapping & ~inside_query & ~inside_data
+    if lens.any():
+        rl = r[lens]
+        bl = b[lens]
+        # Proper lens: r, eps, b all > 0 here by construction.
+        cos_alpha = (rl * rl + bl * bl - eps * eps) / (2.0 * rl * bl)
+        cos_beta = (eps * eps + bl * bl - rl * rl) / (2.0 * eps * bl)
+        alpha = np.arccos(np.clip(cos_alpha, -1.0, 1.0))
+        beta = np.arccos(np.clip(cos_beta, -1.0, 1.0))
+        cap_a = cap_fraction_batch(alpha, d)
+        cap_b = cap_fraction_batch(beta, d)
+        # log-space product: cap_b == 0 (or an underflowed eps/rl) gives
+        # log -> -inf and exp -> 0.0, exactly the scalar fall-back, with no
+        # NaN en route (-inf + finite and -inf + -inf both stay -inf).
+        with np.errstate(divide="ignore"):
+            query_term = np.exp(np.log(cap_b) + d * np.log(eps / rl))
+        values = np.minimum(cap_a + query_term, 1.0)
+        out[lens] = np.maximum(values, TINY_FRACTION)
+    return out

@@ -20,8 +20,25 @@ from scipy.optimize import brentq
 
 from repro.clustering.spheres import ClusterSphere
 from repro.exceptions import ConvergenceError, ValidationError
-from repro.geometry.intersection import intersection_fraction
+from repro.geometry.batch import intersection_fraction_batch
 from repro.utils.validation import check_positive, check_vector
+
+
+def _sphere_arrays(
+    spheres: list[ClusterSphere], query_center: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack spheres into (radii, items, centre-distance) arrays."""
+    n = len(spheres)
+    centroids = np.empty((n, query_center.shape[0]), dtype=np.float64)
+    radii = np.empty(n, dtype=np.float64)
+    items = np.empty(n, dtype=np.float64)
+    for i, sphere in enumerate(spheres):
+        centroids[i] = sphere.centroid
+        radii[i] = sphere.radius
+        items[i] = sphere.items
+    diff = centroids - query_center
+    dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return radii, items, dists
 
 
 def expected_items(
@@ -32,6 +49,11 @@ def expected_items(
     d: int | None = None,
 ) -> float:
     """Eq. 8 right-hand side: expected items inside a radius-``epsilon`` query.
+
+    Evaluated with the vectorized intersection kernel: one
+    :func:`repro.geometry.batch.intersection_fraction_batch` call over all
+    reachable spheres (this sits inside the k-NN heuristic's root-finding
+    loop, which evaluates it dozens of times per level per query).
 
     Parameters
     ----------
@@ -50,11 +72,9 @@ def expected_items(
     if not spheres:
         return 0.0
     dim = d if d is not None else query_center.shape[0]
-    total = 0.0
-    for sphere in spheres:
-        b = sphere.distance_to_center(query_center)
-        total += intersection_fraction(sphere.radius, epsilon, b, dim) * sphere.items
-    return total
+    radii, items, dists = _sphere_arrays(spheres, query_center)
+    fractions = intersection_fraction_batch(radii, epsilon, dists, dim)
+    return float(fractions @ items)
 
 
 def estimate_epsilon_for_k(
@@ -86,15 +106,17 @@ def estimate_epsilon_for_k(
     query_center = check_vector(query_center, "query_center")
     if not spheres or k == 0:
         return 0.0
-    total_items = float(sum(s.items for s in spheres))
-    eps_max = max(
-        s.distance_to_center(query_center) + s.radius for s in spheres
-    )
+    dim = d if d is not None else query_center.shape[0]
+    radii, items, dists = _sphere_arrays(spheres, query_center)
+    total_items = float(items.sum())
+    eps_max = float((dists + radii).max())
     if k >= total_items:
         return float(eps_max)
 
     def gap(eps: float) -> float:
-        return expected_items(eps, spheres, query_center, d=d) - k
+        # Arrays are stacked once; each root-finding step is one kernel call.
+        fractions = intersection_fraction_batch(radii, eps, dists, dim)
+        return float(fractions @ items) - k
 
     if gap(eps_max) <= 0.0:
         # Numerical slack at full coverage; the max radius is the answer.

@@ -22,6 +22,29 @@ from scipy.special import betainc
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_positive
 
+#: Absolute slack applied when classifying two spheres as intersecting.
+#: This is the single source of truth for the disjointness boundary: the
+#: overlay entry filter (:meth:`repro.overlay.base.StoredEntry.intersects`)
+#: and the Eq. 1 pruning accounting (:mod:`repro.core.scoring`) both use
+#: :func:`spheres_intersect`, so a sphere counted as a surviving candidate
+#: by the Theorem 4.1 stats is exactly one the geometry reports back.
+INTERSECTION_SLACK = 1e-12
+
+#: Smallest positive double. An intersecting sphere pair whose true volume
+#: fraction is below the representable range is clamped here instead of
+#: underflowing to 0.0, preserving the invariant that a positive-volume
+#: intersection always yields a positive fraction (what the Theorem 4.1
+#: no-false-dismissal argument needs from min-aggregation).
+TINY_FRACTION = math.ulp(0.0)
+
+
+def spheres_intersect(
+    data_radius: float, query_radius: float, center_distance: float
+) -> bool:
+    """True when the two spheres are within :data:`INTERSECTION_SLACK` of
+    touching — the shared disjointness test for pruning and entry filtering."""
+    return center_distance <= data_radius + query_radius + INTERSECTION_SLACK
+
 
 def cap_fraction(alpha: float, d: int) -> float:
     """Fraction of a ``d``-ball's volume in the cap of half-angle ``alpha``.
@@ -100,12 +123,32 @@ def intersection_fraction(
     if b + r <= eps:
         return 1.0  # data sphere entirely inside the query sphere
     if b + eps <= r:
-        # Query sphere entirely inside the data sphere.
-        return (eps / r) ** d
+        # Query sphere entirely inside the data sphere: (eps/r)**d, in log
+        # space. The direct power underflows to exactly 0.0 at realistic
+        # dimensions (d = 512 histograms: (eps/r)**512 is 0.0 for any ratio
+        # below ~0.2), which erases a genuine containment; the log form
+        # holds on to the full double range and the clamp below keeps the
+        # fraction positive even past it.
+        ratio = eps / r
+        if ratio == 0.0:
+            # eps == 0 (a point query) or a subnormal eps whose quotient
+            # underflowed: zero representable volume, clamp.
+            return TINY_FRACTION
+        return max(math.exp(d * math.log(ratio)), TINY_FRACTION)
     # Proper lens: sum of two caps (Eq. 6), angles from the cosine rule (Eq. 7).
     cos_alpha = (r * r + b * b - eps * eps) / (2.0 * r * b)
     cos_beta = (eps * eps + b * b - r * r) / (2.0 * eps * b)
     alpha = math.acos(min(1.0, max(-1.0, cos_alpha)))
     beta = math.acos(min(1.0, max(-1.0, cos_beta)))
-    lens = cap_fraction(alpha, d) + cap_fraction(beta, d) * (eps / r) ** d
-    return min(1.0, max(0.0, lens))
+    cap_a = cap_fraction(alpha, d)
+    cap_b = cap_fraction(beta, d)
+    # The query-cap term cap_b * (eps/r)**d is a product of two potentially
+    # tiny factors; summing their logs avoids the intermediate underflow.
+    ratio = eps / r
+    if cap_b > 0.0 and ratio > 0.0:
+        query_term = math.exp(math.log(cap_b) + d * math.log(ratio))
+    else:
+        query_term = 0.0
+    lens = cap_a + query_term
+    # This branch is a positive-volume overlap by construction, so never 0.
+    return min(1.0, max(lens, TINY_FRACTION))

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.geometry.intersection import spheres_intersect
 from repro.utils.validation import check_positive, check_vector
 
 
@@ -36,10 +37,14 @@ class StoredEntry:
         """True when this entry's sphere intersects ``(center, radius)``.
 
         Similarity is Euclidean in the key space: the torus is overlay
-        topology only, not data geometry.
+        topology only, not data geometry. The boundary (including its
+        numerical slack) is shared with the Eq. 1 pruning accounting via
+        :func:`repro.geometry.intersection.spheres_intersect`, so every
+        entry this filter returns is one the scoring layer counts as a
+        surviving candidate.
         """
         dist = float(np.linalg.norm(self.key - np.asarray(center, dtype=np.float64)))
-        return dist <= self.radius + radius + 1e-12
+        return spheres_intersect(self.radius, radius, dist)
 
 
 @dataclass

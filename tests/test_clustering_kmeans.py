@@ -133,3 +133,50 @@ class TestKMeansProperties:
         # With multiple restarts, inertia should be non-increasing in k.
         for a, b in zip(inertia, inertia[1:]):
             assert b <= a * 1.05  # small slack: restarts are heuristic
+
+
+class TestEmptyClusterRepair:
+    """Regression: the post-loop final assignment (`labels = d2.argmin(...)`)
+    used to undo the in-loop empty-cluster repair — argmin tie-breaks to the
+    lowest index, so a point a repaired centroid was re-seeded on snapped
+    back to a duplicate centroid, returning a result with empty clusters."""
+
+    def test_identical_points_fill_every_cluster(self):
+        # All-zero data makes every centroid a duplicate: the exact shape
+        # that triggered the snap-back. Previously sizes were [n, 0, 0].
+        result = kmeans(np.zeros((6, 2)), 3, rng=0)
+        sizes = result.cluster_sizes()
+        assert sizes.shape == (3,)
+        assert sizes.min() >= 1
+        assert sizes.sum() == 6
+        assert result.inertia == 0.0
+
+    def test_few_distinct_values_fill_every_cluster(self):
+        data = np.repeat([[0.0, 0.0], [1.0, 1.0]], 5, axis=0)
+        result = kmeans(data, 5, rng=0)
+        assert result.cluster_sizes().min() >= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_no_empty_clusters(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 40))
+        d = int(rng.integers(1, 6))
+        data = rng.random((n, d))
+        # Heavy duplication raises the chance of coincident centroids.
+        if n >= 10:
+            data[: n // 2] = data[0]
+        k = int(rng.integers(1, min(n, 6) + 1))
+        result = kmeans(data, k, rng=int(seed))
+        sizes = result.cluster_sizes()
+        assert sizes.min() >= 1, sizes
+        assert sizes.sum() == n
+
+    def test_repair_keeps_inertia_consistent(self):
+        # The reported inertia must describe the *returned* labels, repair
+        # included.
+        data = np.repeat([[0.0, 0.0], [3.0, 3.0]], 4, axis=0)
+        result = kmeans(data, 4, rng=1)
+        assigned = result.centroids[result.labels]
+        assert np.isclose(
+            result.inertia, float(((data - assigned) ** 2).sum()), atol=1e-9
+        )

@@ -2,10 +2,18 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.results import ClusterRecord
-from repro.core.scoring import aggregate_scores, level_scores, rank_peers
+from repro.core.scoring import (
+    aggregate_scores,
+    level_scores,
+    level_scores_scalar,
+    rank_peers,
+)
 from repro.exceptions import ValidationError
+from repro.geometry.intersection import INTERSECTION_SLACK
 from repro.overlay.base import StoredEntry
 
 
@@ -48,6 +56,97 @@ class TestLevelScores:
         # Tangent: distance = radius + query radius exactly.
         scores = level_scores(entries, np.array([0.7, 0.5]), 0.1)
         assert scores.get(3, 0.0) > 0.0
+
+
+def _random_entries(rng, n, d, n_peers):
+    return [
+        entry(
+            int(rng.integers(n_peers)),
+            rng.uniform(0.0, 1.0, d),
+            float(rng.uniform(0.0, 0.4)),
+            int(rng.integers(1, 50)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestBatchScalarParity:
+    """The batched level_scores must reproduce the scalar oracle exactly:
+    same peers, scores to 1e-9 relative, identical filter accounting."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        eps=st.floats(min_value=0.0, max_value=1.0),
+        d=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_random_workloads(self, seed, eps, d):
+        rng = np.random.default_rng(seed)
+        entries = _random_entries(rng, 40, d, n_peers=6)
+        center = rng.uniform(0.0, 1.0, d)
+        batch_stats: dict = {}
+        scalar_stats: dict = {}
+        batch = level_scores(entries, center, eps, stats=batch_stats)
+        scalar = level_scores_scalar(entries, center, eps, stats=scalar_stats)
+        assert batch_stats == scalar_stats
+        assert set(batch) == set(scalar)
+        for peer, score in scalar.items():
+            assert batch[peer] == pytest.approx(score, rel=1e-9, abs=1e-300)
+
+    def test_high_dimensional_parity(self):
+        rng = np.random.default_rng(3)
+        d = 512
+        entries = _random_entries(rng, 60, d, n_peers=8)
+        center = rng.uniform(0.0, 1.0, d)
+        batch_stats: dict = {}
+        scalar_stats: dict = {}
+        batch = level_scores(entries, center, 2.0, stats=batch_stats)
+        scalar = level_scores_scalar(entries, center, 2.0, stats=scalar_stats)
+        assert batch_stats == scalar_stats
+        assert set(batch) == set(scalar)
+        for peer, score in scalar.items():
+            assert batch[peer] == pytest.approx(score, rel=1e-9, abs=1e-300)
+
+    def test_empty_entries(self):
+        batch_stats: dict = {}
+        scalar_stats: dict = {}
+        assert level_scores([], np.zeros(2), 0.5, stats=batch_stats) == {}
+        assert level_scores_scalar([], np.zeros(2), 0.5, stats=scalar_stats) == {}
+        assert batch_stats == scalar_stats == {
+            "candidates": 0, "pruned": 0, "surviving": 0
+        }
+
+    def test_all_pruned_stats(self):
+        entries = [entry(1, [0.9, 0.9], 0.01, 5), entry(2, [0.8, 0.8], 0.01, 5)]
+        center = np.array([0.1, 0.1])
+        batch_stats: dict = {}
+        scalar_stats: dict = {}
+        assert level_scores(entries, center, 0.05, stats=batch_stats) == {}
+        assert level_scores_scalar(entries, center, 0.05, stats=scalar_stats) == {}
+        assert batch_stats == scalar_stats
+        assert batch_stats["pruned"] == 2
+        assert batch_stats["surviving"] == 0
+
+    def test_boundary_band_agreement(self):
+        """Entries placed just inside and just outside the shared slack
+        band must be classified identically by both paths: inside the band
+        survives (floored score), outside is pruned."""
+        r, eps = 0.1, 0.2
+        inside_b = r + eps + 0.4 * INTERSECTION_SLACK
+        outside_b = r + eps + 2.0 * INTERSECTION_SLACK
+        center = np.zeros(2)
+        for b, survives in ((inside_b, True), (outside_b, False)):
+            entries = [entry(7, [b, 0.0], r, 10)]
+            batch_stats: dict = {}
+            scalar_stats: dict = {}
+            batch = level_scores(entries, center, eps, stats=batch_stats)
+            scalar = level_scores_scalar(entries, center, eps, stats=scalar_stats)
+            assert batch_stats == scalar_stats
+            assert (7 in batch) is survives
+            assert (7 in scalar) is survives
+            if survives:
+                assert batch[7] > 0.0
+                assert batch[7] == pytest.approx(scalar[7], rel=1e-9)
 
 
 class TestAggregation:

@@ -1,0 +1,149 @@
+"""Property tests pinning the vectorized kernels to the scalar oracles.
+
+The batch kernels in :mod:`repro.geometry.batch` are the retrieval hot
+path; the scalar functions in :mod:`repro.geometry.intersection` are the
+reference implementation. Over randomized ``(r, eps, b, d)`` grids the two
+must agree to 1e-9 (they actually agree to ~1e-14 relative: the same
+formulas evaluated array-wise).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.geometry.batch import (
+    cap_fraction_batch,
+    intersection_fraction_batch,
+    spheres_intersect_batch,
+)
+from repro.geometry.intersection import (
+    INTERSECTION_SLACK,
+    cap_fraction,
+    intersection_fraction,
+    spheres_intersect,
+)
+
+
+def _assert_matches_oracle(radii, eps, dists, d):
+    batch = intersection_fraction_batch(radii, eps, dists, d)
+    oracle = np.array(
+        [intersection_fraction(r, eps, b, d) for r, b in zip(radii, dists)]
+    )
+    np.testing.assert_allclose(batch, oracle, rtol=1e-9, atol=1e-30)
+
+
+class TestCapFractionBatch:
+    @pytest.mark.parametrize("d", [1, 2, 3, 8, 64, 512])
+    def test_matches_scalar_over_grid(self, d):
+        alphas = np.linspace(0.0, math.pi, 101)
+        batch = cap_fraction_batch(alphas, d)
+        oracle = np.array([cap_fraction(a, d) for a in alphas])
+        np.testing.assert_allclose(batch, oracle, rtol=1e-9, atol=1e-300)
+
+    def test_limits(self):
+        out = cap_fraction_batch(np.array([0.0, math.pi / 2, math.pi]), 7)
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            cap_fraction_batch(np.array([0.5]), 0)
+        with pytest.raises(ValidationError):
+            cap_fraction_batch(np.array([-0.2]), 4)
+        with pytest.raises(ValidationError):
+            cap_fraction_batch(np.array([4.0]), 4)
+
+
+class TestIntersectionFractionBatch:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        eps=st.floats(min_value=0.0, max_value=3.0),
+        d=st.sampled_from([1, 2, 3, 4, 8, 16, 64, 128, 512]),
+    )
+    def test_randomized_grid_matches_oracle(self, seed, eps, d):
+        rng = np.random.default_rng(seed)
+        radii = rng.uniform(0.0, 2.5, 64)
+        radii[rng.random(64) < 0.1] = 0.0  # sprinkle point entries
+        dists = rng.uniform(0.0, 5.0, 64)
+        _assert_matches_oracle(radii, eps, dists, d)
+
+    def test_degenerate_placements(self):
+        # disjoint, tangent, containment both ways, point data spheres.
+        radii = np.array([1.0, 1.0, 0.5, 2.0, 0.0, 0.0])
+        dists = np.array([3.0, 2.0, 0.3, 0.0, 0.5, 1.5])
+        _assert_matches_oracle(radii, 1.0, dists, 4)
+
+    def test_point_query_radius(self):
+        radii = np.array([1.0, 1.0, 0.0])
+        dists = np.array([0.5, 2.0, 0.0])
+        _assert_matches_oracle(radii, 0.0, dists, 6)
+
+    def test_high_dimensional_underflow_band(self):
+        """d = 512: fractions far below the old (eps/r)**d underflow point
+        still match the scalar log-space values and stay positive."""
+        radii = np.ones(5)
+        eps = 0.25
+        dists = np.array([0.0, 0.2, 0.5, 0.74, 0.76])
+        out = intersection_fraction_batch(radii, eps, dists, 512)
+        assert (out[:-1] > 0.0).all()
+        _assert_matches_oracle(radii, eps, dists, 512)
+
+    def test_output_in_unit_interval(self):
+        rng = np.random.default_rng(7)
+        out = intersection_fraction_batch(
+            rng.uniform(0, 2, 200), 0.9, rng.uniform(0, 4, 200), 8
+        )
+        assert float(out.min()) >= 0.0
+        assert float(out.max()) <= 1.0
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValidationError):
+            intersection_fraction_batch(np.array([-1.0]), 1.0, np.array([1.0]), 2)
+        with pytest.raises(ValidationError):
+            intersection_fraction_batch(np.array([1.0]), -1.0, np.array([1.0]), 2)
+        with pytest.raises(ValidationError):
+            intersection_fraction_batch(np.array([1.0]), 1.0, np.array([-1.0]), 2)
+
+    def test_broadcasts_scalar_radius(self):
+        out = intersection_fraction_batch(
+            np.array([1.0]), 0.5, np.array([0.2, 0.7, 3.0]), 3
+        )
+        assert out.shape == (3,)
+
+
+class TestSpheresIntersectBatch:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), eps=st.floats(0.0, 2.0))
+    def test_matches_scalar_predicate(self, seed, eps):
+        rng = np.random.default_rng(seed)
+        radii = rng.uniform(0.0, 2.0, 64)
+        dists = rng.uniform(0.0, 5.0, 64)
+        mask = spheres_intersect_batch(radii, eps, dists)
+        oracle = [spheres_intersect(r, eps, b) for r, b in zip(radii, dists)]
+        assert mask.tolist() == oracle
+
+    def test_boundary_band_is_intersecting(self):
+        """The slack band is classified as intersecting — the same answer
+        the overlay's entry filter gives, so survivor accounting agrees."""
+        r, eps = 1.0, 0.5
+        inside = r + eps + 0.5 * INTERSECTION_SLACK
+        outside = r + eps + 2.0 * INTERSECTION_SLACK
+        mask = spheres_intersect_batch(
+            np.array([r, r]), eps, np.array([inside, outside])
+        )
+        assert mask.tolist() == [True, False]
+
+    def test_agreement_with_fraction_classification(self):
+        """Positive fraction implies the predicate holds (never the reverse
+        mismatch that previously floored disjoint spheres)."""
+        rng = np.random.default_rng(11)
+        radii = rng.uniform(0, 2, 300)
+        dists = rng.uniform(0, 5, 300)
+        eps = 0.7
+        fractions = intersection_fraction_batch(radii, eps, dists, 6)
+        mask = spheres_intersect_batch(radii, eps, dists)
+        assert not ((fractions > 0.0) & ~mask).any()

@@ -14,9 +14,11 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ValidationError
 from repro.geometry.intersection import (
+    TINY_FRACTION,
     cap_fraction,
     cap_fraction_series_even,
     intersection_fraction,
+    spheres_intersect,
 )
 from repro.geometry.montecarlo import monte_carlo_intersection_fraction
 
@@ -126,6 +128,55 @@ class TestIntersectionFraction:
         b = gap * (r + eps)
         f = intersection_fraction(r, eps, b, d)
         assert 0.0 <= f <= 1.0
+
+    def test_high_dimensional_containment_does_not_underflow(self):
+        """Regression: at d = 512 (the paper's feature histograms) the
+        direct power ``(eps/r)**512`` is exactly 0.0 for any radius ratio
+        below ~0.2, and the unclamped value silently zeroed genuine
+        containments out of the min-aggregation. The clamp keeps every
+        intersecting pair positive; values still representable (even as
+        subnormals) come through at full precision."""
+        # Deep subnormal territory: exact log-space value, not the clamp.
+        f = intersection_fraction(1.0, 0.25, 0.5, 512)
+        assert np.isclose(f, math.exp(512 * math.log(0.25)), rtol=1e-12)
+        assert 0.0 < f < 1e-300
+        # Below even the subnormal range: clamped, never 0.0.
+        assert (0.1 / 1.0) ** 512 == 0.0  # what the old code returned
+        g = intersection_fraction(1.0, 0.1, 0.5, 512)
+        assert g == TINY_FRACTION
+        assert g > 0.0
+
+    def test_high_dimensional_containment_large_ratio(self):
+        # Ratio close to 1 stays in the comfortable double range and must
+        # agree with the analytic value.
+        f = intersection_fraction(1.0, 0.97, 0.01, 512)
+        assert np.isclose(f, 1.6870499616221884e-07, rtol=1e-9)
+
+    def test_high_dimensional_lens_positive(self):
+        """A proper lens at d = 512 is a positive-volume overlap; the
+        cap_b * (eps/r)**d product must not vanish en route."""
+        f = intersection_fraction(1.0, 0.3, 0.75, 512)
+        assert f > 0.0
+        assert f < 1e-200  # genuinely tiny, not an accidental large value
+
+    def test_subnormal_query_radius(self):
+        # eps = 5e-324: eps/r underflows to 0.0; must clamp, not raise.
+        tiny = math.ulp(0.0)
+        f = intersection_fraction(2.0, tiny, 1.0, 3)
+        assert f == TINY_FRACTION
+
+    def test_positive_fraction_iff_intersecting(self):
+        """The clamp preserves: intersecting (per the shared predicate)
+        implies positive fraction, for every dimension tried."""
+        for d in (1, 2, 8, 64, 512):
+            for r, eps, b in [
+                (1.0, 0.1, 0.5),
+                (1.0, 0.5, 1.4),
+                (2.0, 0.01, 1.99),
+                (0.5, 0.25, 0.749),
+            ]:
+                assert spheres_intersect(r, eps, b)
+                assert intersection_fraction(r, eps, b, d) > 0.0, (r, eps, b, d)
 
     @pytest.mark.parametrize(
         "r,eps,b,d",

@@ -64,6 +64,35 @@ def test_no_false_dismissals_other_overlays(overlay, seed, radius):
     assert truth <= result.item_ids
 
 
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_clusters=st.integers(1, 8),
+    levels_used=st.integers(1, 5),
+    radius=st.floats(min_value=0.05, max_value=1.2),
+)
+def test_index_phase_never_dismisses_a_holding_peer(
+    seed, n_clusters, levels_used, radius
+):
+    """Theorem 4.1 at the index phase itself: every peer holding a true
+    range answer must survive min-aggregation with a strictly positive
+    score (this is the property the intersection-fraction floor and the
+    log-space volume ratios exist to protect — an underflow to 0.0 at any
+    single level would erase the peer from the min)."""
+    network, rng = _build(seed, n_clusters, levels_used)
+    truth_index = CentralizedIndex.from_network(network)
+    query = network.peers[int(rng.integers(5))].data[int(rng.integers(20))]
+    truth = truth_index.range_search(query, radius)
+    result = network.range_query(query, radius)
+    # Item ids were assigned as arange(p*20, (p+1)*20): holder = id // 20.
+    holding_peers = {item_id // 20 for item_id in truth}
+    for peer in holding_peers:
+        assert peer in result.peer_scores, (
+            f"peer {peer} holds a true answer but was dismissed"
+        )
+        assert result.peer_scores[peer] > 0.0
+
+
 @settings(max_examples=10, deadline=None)
 @given(seed=st.integers(0, 10_000), k=st.integers(1, 15))
 def test_knn_always_returns_k_when_available(seed, k):

@@ -7,7 +7,6 @@ the same collections, and checks the per-device energy spread (no single
 device should pay for everyone — complementing Figure 9's load story).
 """
 
-import numpy as np
 
 from repro.core.baselines import NaiveCANPublisher
 from repro.core.network import HyperMConfig, HyperMNetwork

@@ -80,25 +80,42 @@ def test_micro_intersection_fraction_batch(benchmark):
     benchmark(intersection_fraction_batch, radii, 9.2, dists, 512)
 
 
-def test_micro_level_scores_batch(benchmark):
-    """Batched Eq. 1 scoring of 10,000 candidate spheres at d=512 (warm
-    stacked-array cache — the steady state across a query batch)."""
+def _populated_store(n: int, d: int, rng: np.random.Generator):
     from repro.core.results import ClusterRecord
-    from repro.core.scoring import level_scores
-    from repro.overlay.base import StoredEntry
+    from repro.index import LevelStore
 
-    rng = np.random.default_rng(4)
-    keys = rng.random((10_000, 512))
-    entries = [
-        StoredEntry(
-            key=keys[i],
-            radius=float(rng.uniform(0.0, 0.4)),
-            value=ClusterRecord(
+    store = LevelStore(d)
+    membership = store.new_membership()
+    keys = rng.random((n, d))
+    for i in range(n):
+        membership.add(store.add(
+            keys[i],
+            float(rng.uniform(0.0, 0.4)),
+            ClusterRecord(
                 peer_id=int(rng.integers(64)), items=10, level_name="A"
             ),
-        )
-        for i in range(10_000)
-    ]
+        ))
+    return store, membership
+
+
+def test_micro_level_scores_store(benchmark):
+    """Batched Eq. 1 scoring of a 10,000-row candidate set at d=512,
+    consumed zero-copy from the columnar level store."""
+    from repro.core.scoring import level_scores
+
+    rng = np.random.default_rng(4)
+    store, membership = _populated_store(10_000, 512, rng)
     center = rng.random(512)
-    level_scores(entries, center, 9.2)  # warm the cache
-    benchmark(level_scores, entries, center, 9.2)
+    rows = membership.rows()
+    benchmark(
+        lambda: level_scores(store.candidate_set(rows), center, 9.2)
+    )
+
+
+def test_micro_store_intersection_mask(benchmark):
+    """One store-wide query intersection pass over 10,000 rows at d=512
+    (the per-range-query filter every visited node's gather reuses)."""
+    rng = np.random.default_rng(5)
+    store, __ = _populated_store(10_000, 512, rng)
+    center = rng.random(512)
+    benchmark(store.intersection_mask, center, 9.2)

@@ -15,11 +15,10 @@ import numpy as np
 
 from repro.core.network import HyperMConfig
 from repro.core.queries import index_phase
-from repro.core.scoring import aggregate_scores, level_scores
+
 from repro.evaluation.workloads import build_histogram_network, sample_queries
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_table
-
 
 def _run():
     build_rng, query_rng = spawn_rngs(8_019, 2)
@@ -60,7 +59,6 @@ def _run():
             ]
         )
     return rows
-
 
 def test_pruning_efficiency(benchmark, record_table):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)

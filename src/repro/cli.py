@@ -360,6 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="how many individually slowest spans to list",
     )
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="build a network at the chosen scale; print its health stats",
+    )
+    _add_common_args(stats_parser)
+    stats_parser.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="make N peers leave after publishing (exercises the "
+        "level stores' tombstone/compaction accounting)",
+    )
     return parser
 
 
@@ -425,6 +436,76 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Build a workload network, optionally churn it, print health stats.
+
+    Surfaces :meth:`HyperMNetwork.stats` — including the per-level
+    columnar store health (live rows, tombstones, generation,
+    compactions) — without writing a script.
+    """
+    from repro.evaluation.workloads import build_markov_network
+
+    params = _common(args)
+    with metrics_scope():
+        workload, __ = build_markov_network(
+            n_peers=params["n_peers"],
+            items_per_peer=params["items_per_peer"],
+            rng=params["rng"],
+        )
+        network = workload.network
+        departures = min(max(args.churn, 0), network.n_peers - 1)
+        for peer_id in list(network.peers)[:departures]:
+            # Clean departures (summaries withdrawn) so the store health
+            # table actually shows tombstone/compaction activity.
+            network.remove_peer(peer_id, withdraw_summaries=True)
+        stats = network.stats()
+    if getattr(args, "json", False):
+        payload = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "churned": departures,
+            "stats": stats,
+        }
+        print(json.dumps(payload, indent=2, default=_json_default))
+        return 0
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["peers", stats["peers"]],
+            ["online peers", stats["online_peers"]],
+            ["total items", stats["total_items"]],
+            ["fabric messages", stats["fabric"]["messages"]],
+            ["fabric hops", stats["fabric"]["hops"]],
+            ["fabric bytes", stats["fabric"]["bytes"]],
+        ],
+        title=f"network stats ({args.scale} scale, churn={departures})",
+    ))
+    print()
+    rows = []
+    for level, entry in stats["levels"].items():
+        store = entry["store"]
+        rows.append([
+            level,
+            entry["nodes"],
+            entry["stored_entries"],
+            entry["distinct_spheres"],
+            f"{entry['replication_factor']:.2f}",
+            store["live_rows"],
+            store["tombstones"],
+            store["generation"],
+            store["compactions"],
+        ])
+    print(format_table(
+        [
+            "level", "nodes", "stored", "distinct", "repl",
+            "live", "tombstones", "generation", "compactions",
+        ],
+        rows,
+        title="per-level store health",
+    ))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     builder, __ = _COMMANDS[args.experiment]
     recorder = TraceRecorder()
@@ -463,11 +544,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:14s} {help_text}")
         print(f"{'trace':14s} record one experiment's span tree as JSONL")
         print(f"{'profile':14s} per-phase time/hops/bytes for one experiment")
+        print(f"{'stats':14s} network + level-store health for a built network")
         return 0
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "all":
         from repro.evaluation.summary import (
             render_markdown,

@@ -185,7 +185,15 @@ class HyperMNetwork:
             self.withdraw_summaries(peer_id)
 
     def withdraw_summaries(self, peer_id: int, *, charge: bool = False) -> int:
-        """Drop every published cluster record of ``peer_id``; returns count.
+        """Drop every published cluster record of ``peer_id``; returns the
+        number of node-level removals (one per membership dropped).
+
+        The peer's rows come from one vectorized scan of the level store's
+        peer-id column; each holding node releases its membership of those
+        rows, the last release tombstones the row, and the store compacts
+        if the tombstone threshold is passed — so a withdrawn sphere can
+        never be scored again (any outstanding
+        :class:`repro.index.CandidateSet` turns stale).
 
         With ``charge=True`` the withdrawal traffic is accounted: one
         message from the peer to each holder of each of its entries — the
@@ -197,17 +205,23 @@ class HyperMNetwork:
 
         removed = 0
         for level, overlay in self.overlays.items():
+            store = overlay.level_store
+            doomed = store.rows_for_peer(peer_id)
+            if doomed.size == 0:
+                continue
             holders_by_entry: dict[int, list[int]] = {}
             for node_id in overlay.node_ids:
                 node = overlay.node(node_id)
-                for entry in node.store:
-                    if entry.value.peer_id == peer_id:
-                        holders_by_entry.setdefault(id(entry), []).append(
-                            node_id
-                        )
-                removed += node.drop_entries(
-                    lambda entry: entry.value.peer_id == peer_id
+                held = np.intersect1d(
+                    doomed, node.membership.rows(), assume_unique=True
                 )
+                if held.size == 0:
+                    continue
+                for row in held:
+                    holders_by_entry.setdefault(
+                        store.entry_id_of(row), []
+                    ).append(node_id)
+                removed += node.membership.discard_many(held)
             origin = self._overlay_node.get((level, peer_id))
             if charge and origin is not None:
                 size = vector_message_size(level.dimensionality, scalars=1)
@@ -220,6 +234,7 @@ class HyperMNetwork:
                             prev, holder, MessageKind.REPLICATE, size
                         )
                         prev = holder
+            store.maybe_compact()
         return removed
 
     def overlay_node(self, level: Level, peer_id: int) -> int:
@@ -407,24 +422,27 @@ class HyperMNetwork:
         """Structured network health summary.
 
         One call for dashboards and debugging: membership, publication
-        state per level (spheres, replication factor), and fabric totals.
+        state per level (spheres, replication factor, level-store health),
+        and fabric totals. Replication accounting runs on the level
+        store's stable entry ids: every live row is one distinct sphere
+        (it exists exactly while some node holds it), and the replication
+        factor is total memberships over live rows.
         """
         online = sum(1 for peer in self.peers.values() if peer.online)
         per_level = {}
         for level, overlay in self.overlays.items():
             loads = overlay.loads()
             stored = sum(loads.values())
-            distinct = set()
-            for node_id in overlay.node_ids:
-                for entry in overlay.node(node_id).store:
-                    distinct.add(id(entry))
+            store = overlay.level_store
+            distinct = store.n_live
             per_level[str(level)] = {
                 "nodes": len(overlay.node_ids),
                 "stored_entries": stored,
-                "distinct_spheres": len(distinct),
+                "distinct_spheres": distinct,
                 "replication_factor": (
-                    stored / len(distinct) if distinct else 0.0
+                    stored / distinct if distinct else 0.0
                 ),
+                "store": store.health(),
             }
         return {
             "peers": self.n_peers,

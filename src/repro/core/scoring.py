@@ -7,27 +7,32 @@ sphere times the cluster's item count::
     Score_l(p) = sum_c  Vol(sphere_c ∩ sphere_q) / Vol(sphere_c) * items_c
 
 :func:`level_scores` evaluates this with the vectorized kernels in
-:mod:`repro.geometry.batch`: one level's candidate entries are stacked into
-key/radius/item arrays (cached across calls for an unchanged candidate
-set — see :func:`_stack_entries`), centre distances come from one BLAS
-matvec, every cluster sphere is scored in a single
-``intersection_fraction_batch`` call, and the per-peer sums reduce with a
-``bincount`` over unique peer ids. :func:`level_scores_scalar` keeps the
-original one-sphere-at-a-time path as the numerical oracle — the property
-tests and the scoring microbenchmark pin the two to 1e-9, with identical
+:mod:`repro.geometry.batch`. Overlay range queries return a
+:class:`repro.index.CandidateSet` — row indices into the level's shared
+columnar store — so the key/radius/item arrays are gathered straight from
+the store columns with no per-entry Python loop and no re-stacking cache
+(the columnar block *is*
+the store, and the candidate set's generation tag raises
+:class:`repro.exceptions.StaleCandidateError` instead of silently scoring
+withdrawn entries). Centre distances come from one BLAS matvec, every
+cluster sphere is scored in a single ``intersection_fraction_batch`` call,
+and the per-peer sums reduce with a ``bincount`` over unique peer ids.
+Plain entry lists are still accepted (stacked fresh per call) for tests
+and legacy callers. :func:`level_scores_scalar` keeps the original
+one-sphere-at-a-time path as the numerical oracle — the property tests
+and the scoring microbenchmark pin the two to 1e-9, with identical
 candidate/pruned/surviving accounting.
 
 Cross-level aggregation uses the paper's *minimum-score* policy by default
 (Section 3.2): a peer must look relevant at **every** level; Theorem 4.1
 guarantees this prunes no true range-query answers. ``sum`` and
 ``product`` aggregators are provided for the ablation benchmarks.
+:func:`aggregate_scores` stacks the per-level dicts into aligned arrays
+once and reduces them with one vectorized min/sum/product pass over the
+common-peer intersection.
 """
 
 from __future__ import annotations
-
-import math
-from collections import OrderedDict
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,6 +42,7 @@ from repro.geometry.batch import (
     spheres_intersect_batch,
 )
 from repro.geometry.intersection import intersection_fraction, spheres_intersect
+from repro.index import CandidateSet
 
 #: Floor applied to the per-cluster fraction of an *intersecting* cluster so
 #: a tangential touch never zeroes a peer out of the min-aggregation (which
@@ -55,35 +61,17 @@ def _fill_stats(stats: dict | None, candidates: int, pruned: int) -> None:
         stats["surviving"] = candidates - pruned
 
 
-@dataclass
-class _EntryBlock:
-    """One candidate set's fields stacked into arrays, plus the entry list
-    itself (a strong reference: the cache below keys blocks by the entries'
-    ``id()``s, which stay valid exactly as long as the objects are alive)."""
+def _candidate_columns(entries, d: int):
+    """``(keys, radii, items, peer_ids, key_sq)`` for a candidate set.
 
-    entries: list
-    keys: np.ndarray
-    radii: np.ndarray
-    items: np.ndarray
-    peer_ids: np.ndarray
-    key_sq: np.ndarray  # per-row squared norms, for the BLAS distance form
-
-
-#: Stacking 10k+ entries costs one Python-loop pass over the candidate set
-#: — more than the vectorized scoring itself. Entries are immutable once
-#: stored, so an unchanged candidate set (the same level re-scored across a
-#: query batch, an evaluation sweep, or the microbenchmark's repeats) can
-#: reuse its arrays. Keyed by the tuple of entry ids; bounded LRU.
-_STACK_CACHE: OrderedDict[tuple, _EntryBlock] = OrderedDict()
-_STACK_CACHE_SIZE = 4
-
-
-def _stack_entries(entries: list, d: int) -> _EntryBlock:
-    token = tuple(map(id, entries))
-    block = _STACK_CACHE.get(token)
-    if block is not None:
-        _STACK_CACHE.move_to_end(token)
-        return block
+    A :class:`repro.index.CandidateSet` yields its store columns zero-copy
+    (one memoized fancy-index gather; raises ``StaleCandidateError`` when
+    the store has mutated since the range query). A plain entry list is
+    stacked fresh per call — no caching, so dropped entries can never be
+    scored from a stale block.
+    """
+    if isinstance(entries, CandidateSet):
+        return entries.columns()
     n = len(entries)
     keys = np.empty((n, d), dtype=np.float64)
     radii = np.empty(n, dtype=np.float64)
@@ -95,18 +83,7 @@ def _stack_entries(entries: list, d: int) -> _EntryBlock:
         record = entry.value
         items[i] = record.items
         peer_ids[i] = record.peer_id
-    block = _EntryBlock(
-        entries=entries,
-        keys=keys,
-        radii=radii,
-        items=items,
-        peer_ids=peer_ids,
-        key_sq=np.einsum("ij,ij->i", keys, keys),
-    )
-    _STACK_CACHE[token] = block
-    while len(_STACK_CACHE) > _STACK_CACHE_SIZE:
-        _STACK_CACHE.popitem(last=False)
-    return block
+    return keys, radii, items, peer_ids, np.einsum("ij,ij->i", keys, keys)
 
 
 def level_scores(
@@ -121,9 +98,10 @@ def level_scores(
     Parameters
     ----------
     entries:
-        :class:`repro.overlay.base.StoredEntry` objects returned by the
-        overlay range query at this level; each ``value`` must be a
-        :class:`repro.core.results.ClusterRecord`.
+        The overlay range query's results at this level: a
+        :class:`repro.index.CandidateSet` (consumed zero-copy from the
+        shared level store) or a plain list of entries whose ``value``
+        is a :class:`repro.core.results.ClusterRecord`.
     query_center / query_radius:
         The query sphere, already translated into this level's key space.
     stats:
@@ -140,28 +118,28 @@ def level_scores(
         _fill_stats(stats, 0, 0)
         return {}
 
-    block = _stack_entries(entries, d)
+    keys, radii, items, peer_ids, key_sq = _candidate_columns(entries, d)
     # ||k - q||^2 = ||k||^2 - 2 k.q + ||q||^2 — one BLAS matvec instead of
     # materialising the (n, d) difference matrix (at d = 512 the subtraction
     # alone costs more than the whole Eq. 1 kernel).
-    d2 = block.key_sq - 2.0 * (block.keys @ query_center)
+    d2 = key_sq - 2.0 * (keys @ query_center)
     d2 += float(query_center @ query_center)
     np.maximum(d2, 0.0, out=d2)
     dists = np.sqrt(d2)
-    intersecting = spheres_intersect_batch(block.radii, query_radius, dists)
+    intersecting = spheres_intersect_batch(radii, query_radius, dists)
     pruned = n - int(np.count_nonzero(intersecting))
     _fill_stats(stats, n, pruned)
     if pruned == n:
         return {}
 
     fractions = intersection_fraction_batch(
-        block.radii[intersecting], query_radius, dists[intersecting], d
+        radii[intersecting], query_radius, dists[intersecting], d
     )
     np.maximum(fractions, MIN_INTERSECTING_FRACTION, where=fractions <= 0.0,
                out=fractions)
-    contributions = fractions * block.items[intersecting]
+    contributions = fractions * items[intersecting]
     unique_peers, inverse = np.unique(
-        block.peer_ids[intersecting], return_inverse=True
+        peer_ids[intersecting], return_inverse=True
     )
     totals = np.bincount(inverse, weights=contributions)
     return {
@@ -222,20 +200,32 @@ def aggregate_scores(
         raise ValidationError(
             f"unknown aggregation policy {policy!r}; use min, sum or product"
         )
-    level_dicts = list(per_level.values())
-    common = set(level_dicts[0])
-    for scores in level_dicts[1:]:
-        common &= set(scores)
-    aggregated: dict[int, float] = {}
-    for peer_id in common:
-        values = [scores[peer_id] for scores in level_dicts]
-        if policy == "min":
-            aggregated[peer_id] = min(values)
-        elif policy == "sum":
-            aggregated[peer_id] = sum(values)
-        else:
-            aggregated[peer_id] = math.prod(values)
-    return aggregated
+    # Stack each level's dict into sorted (peers, scores) arrays once, then
+    # reduce over the common-peer intersection in one vectorized pass.
+    levels = []
+    for scores in per_level.values():
+        n = len(scores)
+        peers = np.fromiter(scores.keys(), dtype=np.int64, count=n)
+        values = np.fromiter(scores.values(), dtype=np.float64, count=n)
+        order = np.argsort(peers)
+        levels.append((peers[order], values[order]))
+    common = levels[0][0]
+    for peers, __ in levels[1:]:
+        common = np.intersect1d(common, peers, assume_unique=True)
+        if common.size == 0:
+            return {}
+    stacked = np.empty((len(levels), common.size), dtype=np.float64)
+    for i, (peers, values) in enumerate(levels):
+        stacked[i] = values[np.searchsorted(peers, common)]
+    if policy == "min":
+        reduced = stacked.min(axis=0)
+    elif policy == "sum":
+        reduced = stacked.sum(axis=0)
+    else:
+        reduced = np.prod(stacked, axis=0)
+    return {
+        int(peer): float(score) for peer, score in zip(common, reduced)
+    }
 
 
 def rank_peers(aggregated: dict[int, float]) -> list[tuple[int, float]]:

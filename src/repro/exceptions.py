@@ -46,3 +46,13 @@ class ConvergenceError(ReproError):
 
 class QueryError(ReproError):
     """A query was malformed or could not be executed."""
+
+
+class StaleCandidateError(QueryError):
+    """A :class:`repro.index.CandidateSet` outlived a store mutation.
+
+    Candidate sets snapshot the store generation at range-query time; any
+    later publish/withdraw/compaction bumps the generation, and consuming
+    the stale snapshot raises this instead of silently scoring rows that
+    may have been tombstoned or remapped. Re-run the range query.
+    """

@@ -1,0 +1,735 @@
+"""Columnar, generation-versioned storage for one overlay level's entries.
+
+The seed implementation kept a Python ``list[StoredEntry]`` per node:
+every index-phase range query walked the visited nodes' lists calling
+``entry.intersects`` once per entry, and the scoring layer re-stacked the
+surviving list into arrays behind an ``id()``-keyed cache. This module
+replaces that layout with one shared, versioned store per overlay level:
+
+* **Columns** — keys ``(n, d)``, radii, item counts, peer ids, squared key
+  norms, and stable monotonically-assigned entry ids live in contiguous
+  NumPy arrays that grow geometrically. The columnar block *is* the store;
+  scoring gathers the candidate rows directly instead of re-stacking
+  Python objects.
+* **Membership** — a node no longer owns entry objects. It owns a
+  :class:`NodeMembership`: a set of row indices into the shared store.
+  Replication is multi-membership of one row, and the store refcounts
+  memberships per row, so an entry dies (is tombstoned) exactly when the
+  last node holding it lets go — the behaviour per-node lists gave for
+  free, without duplicating the data.
+* **Tombstones + compaction** — deletion marks rows dead; when the dead
+  fraction passes a threshold, :meth:`LevelStore.maybe_compact` rewrites
+  the columns densely and remaps every registered membership in place.
+* **Generations** — every mutation bumps :attr:`LevelStore.generation`.
+  A :class:`CandidateSet` (store ref + row indices + generation) snapshot
+  can therefore *detect* staleness instead of assuming liveness — the
+  property the old ``id()``-keyed stack cache silently lacked.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.exceptions import StaleCandidateError, ValidationError
+from repro.geometry.batch import spheres_intersect_batch
+from repro.geometry.intersection import spheres_intersect
+
+#: Initial column capacity (rows) of an empty store.
+_INITIAL_CAPACITY = 64
+
+#: Compaction triggers when tombstones exceed this fraction of used rows…
+_COMPACT_FRACTION = 0.25
+
+#: …and at least this many rows are dead (tiny stores never bother).
+_COMPACT_MIN_TOMBSTONES = 64
+
+
+class StoredEntryView:
+    """A lightweight read view of one live store row.
+
+    Mirrors the attribute surface of the legacy
+    :class:`repro.overlay.base.StoredEntry` (``key`` / ``radius`` /
+    ``value`` / ``intersects``) so existing call sites and tests keep
+    working, and adds the stable :attr:`entry_id` that replaces ``id()``
+    identity everywhere.
+    """
+
+    __slots__ = ("_store", "_row")
+
+    def __init__(self, store: "LevelStore", row: int):
+        self._store = store
+        self._row = int(row)
+
+    @property
+    def row(self) -> int:
+        """Row index in the backing store (valid until the next compaction)."""
+        return self._row
+
+    @property
+    def entry_id(self) -> int:
+        """Stable id assigned at publication; survives compaction."""
+        return int(self._store._entry_ids[self._row])
+
+    @property
+    def key(self) -> np.ndarray:
+        """The entry's key point (a copy; the column stays immutable)."""
+        return self._store._keys[self._row].copy()
+
+    @property
+    def radius(self) -> float:
+        """Extent radius (0 for point entries)."""
+        return float(self._store._radii[self._row])
+
+    @property
+    def value(self) -> object:
+        """The opaque payload stored at publication."""
+        return self._store._values[self._row]
+
+    @property
+    def peer_id(self) -> int:
+        """Publishing peer id (−1 when the payload carries none)."""
+        return int(self._store._peer_ids[self._row])
+
+    @property
+    def items(self) -> float:
+        """Item count carried by the payload (0 when it carries none)."""
+        return float(self._store._items[self._row])
+
+    def intersects(self, center: np.ndarray, radius: float) -> bool:
+        """Scalar sphere-intersection test (same boundary as the batch path)."""
+        dist = float(
+            np.linalg.norm(
+                self._store._keys[self._row]
+                - np.asarray(center, dtype=np.float64)
+            )
+        )
+        return spheres_intersect(self.radius, radius, dist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoredEntryView(entry_id={self.entry_id}, "
+            f"radius={self.radius:.4g}, value={self.value!r})"
+        )
+
+
+class NodeMembership:
+    """The set of store rows one overlay node holds.
+
+    Mutations keep the store's per-row reference counts in step: adding a
+    row increments, discarding decrements, and the row is tombstoned by
+    the store when its last membership lets go. Row arrays returned by
+    :meth:`rows` are sorted ascending — row order is insertion order
+    (compaction preserves it), so iteration is deterministic.
+    """
+
+    __slots__ = ("_store", "_rows", "_cache", "__weakref__")
+
+    def __init__(self, store: "LevelStore"):
+        self._store = store
+        self._rows: set[int] = set()
+        self._cache: np.ndarray | None = None
+        store._register(self)
+
+    @property
+    def store(self) -> "LevelStore":
+        """The backing level store."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: int) -> bool:
+        return int(row) in self._rows
+
+    def rows(self) -> np.ndarray:
+        """Member rows as a sorted ``int64`` array (cached until mutated)."""
+        if self._cache is None:
+            self._cache = np.fromiter(
+                sorted(self._rows), dtype=np.int64, count=len(self._rows)
+            )
+        return self._cache
+
+    def add(self, row: int) -> bool:
+        """Add one row; returns False (and does nothing) if already held."""
+        row = int(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        self._cache = None
+        self._store._incref(row)
+        return True
+
+    def add_many(self, rows) -> int:
+        """Add each row not yet held; returns how many were new."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def discard(self, row: int) -> bool:
+        """Drop one row; returns False if it was not held."""
+        row = int(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        self._cache = None
+        self._store._decref(row)
+        return True
+
+    def discard_many(self, rows) -> int:
+        """Drop each held row in ``rows``; returns how many were held."""
+        dropped = 0
+        for row in rows:
+            if self.discard(row):
+                dropped += 1
+        return dropped
+
+    def clear(self) -> int:
+        """Drop every member row (a departing node releasing its holdings)."""
+        dropped = len(self._rows)
+        for row in self._rows:
+            self._store._decref(row)
+        self._rows.clear()
+        self._cache = None
+        return dropped
+
+    def drop_where(self, predicate) -> int:
+        """Drop member rows whose :class:`StoredEntryView` matches; count."""
+        doomed = [
+            row
+            for row in sorted(self._rows)
+            if predicate(StoredEntryView(self._store, row))
+        ]
+        return self.discard_many(doomed)
+
+    def intersecting_rows(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Member rows whose spheres intersect the query sphere (batched)."""
+        return self._store.intersecting_rows(self.rows(), center, radius)
+
+    def rows_matching(self, mask: np.ndarray) -> np.ndarray:
+        """Member rows selected by a per-row boolean ``mask``.
+
+        The fast path for range queries: the overlay computes one
+        :meth:`LevelStore.intersection_mask` per query and every visited
+        node reduces to this boolean gather.
+        """
+        rows = self.rows()
+        if rows.size == 0:
+            return rows
+        return rows[mask[rows]]
+
+    def entries(self) -> list[StoredEntryView]:
+        """Member rows as entry views (back-compat iteration surface)."""
+        store = self._store
+        return [StoredEntryView(store, row) for row in self.rows()]
+
+    def _remap(self, mapping: np.ndarray) -> None:
+        """Rewrite member rows through a compaction ``old -> new`` map."""
+        self._rows = {
+            int(mapping[row]) for row in self._rows if mapping[row] >= 0
+        }
+        self._cache = None
+
+
+class CandidateSet:
+    """One range query's surviving rows: store ref + rows + generation.
+
+    The lightweight result the overlays hand to scoring: no entry objects,
+    just row indices into the shared columns plus the store generation at
+    snapshot time. Iteration and indexing yield
+    :class:`StoredEntryView` objects, so legacy consumers (tests, k-NN
+    sphere building, baselines) keep working unchanged.
+    """
+
+    __slots__ = ("_store", "_rows", "_generation", "_columns")
+
+    def __init__(self, store: "LevelStore", rows: np.ndarray):
+        self._store = store
+        self._rows = np.asarray(rows, dtype=np.int64)
+        self._generation = store.generation
+        self._columns = None
+
+    @property
+    def store(self) -> "LevelStore":
+        """The backing level store."""
+        return self._store
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Candidate row indices (ascending, deduplicated by construction)."""
+        return self._rows
+
+    @property
+    def generation(self) -> int:
+        """Store generation at snapshot time."""
+        return self._generation
+
+    @property
+    def entry_ids(self) -> np.ndarray:
+        """Stable entry ids of the candidate rows."""
+        self.ensure_fresh()
+        return self._store._entry_ids[self._rows]
+
+    def is_stale(self) -> bool:
+        """True when the store has mutated since this snapshot was taken."""
+        return self._generation != self._store.generation
+
+    def ensure_fresh(self) -> None:
+        """Raise :class:`StaleCandidateError` when the snapshot is stale."""
+        if self.is_stale():
+            raise StaleCandidateError(
+                f"candidate set was taken at store generation "
+                f"{self._generation} but the store is now at generation "
+                f"{self._store.generation}; re-run the range query"
+            )
+
+    def columns(self) -> tuple:
+        """Gather ``(keys, radii, items, peer_ids, key_sq)`` for the rows.
+
+        The gather is one vectorized fancy-index per column (no Python
+        per-entry loop) and is memoized: scoring and k-NN sphere building
+        share the same arrays. When the rows form a dense range — the
+        common case for a wide query over a freshly-compacted store — the
+        gather degenerates to zero-copy column slices.
+        """
+        self.ensure_fresh()
+        if self._columns is None:
+            store = self._store
+            rows = self._rows
+            if (
+                rows.size
+                and int(rows[-1]) - int(rows[0]) + 1 == rows.size
+            ):
+                # Rows are sorted and unique, so first/last spanning
+                # exactly ``size`` positions means a contiguous range.
+                rows = slice(int(rows[0]), int(rows[-1]) + 1)
+            self._columns = (
+                store._keys[rows],
+                store._radii[rows],
+                store._items[rows],
+                store._peer_ids[rows],
+                store._key_sq[rows],
+            )
+        return self._columns
+
+    def __len__(self) -> int:
+        return int(self._rows.size)
+
+    def __iter__(self):
+        self.ensure_fresh()
+        store = self._store
+        return (StoredEntryView(store, int(row)) for row in self._rows)
+
+    def __getitem__(self, index: int) -> StoredEntryView:
+        self.ensure_fresh()
+        return StoredEntryView(self._store, int(self._rows[index]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CandidateSet(rows={self._rows.size}, "
+            f"generation={self._generation})"
+        )
+
+
+class LevelStore:
+    """All of one overlay level's published entries, in columnar arrays."""
+
+    def __init__(self, dimensionality: int, *, compact_fraction: float = _COMPACT_FRACTION,
+                 compact_min_tombstones: int = _COMPACT_MIN_TOMBSTONES):
+        if dimensionality < 1:
+            raise ValidationError(
+                f"dimensionality must be >= 1, got {dimensionality}"
+            )
+        self._dim = int(dimensionality)
+        self._compact_fraction = float(compact_fraction)
+        self._compact_min_tombstones = int(compact_min_tombstones)
+        self._capacity = 0
+        self._size = 0  # rows used, live + tombstoned
+        self._n_tombstones = 0
+        self._next_entry_id = 0
+        self.generation = 0
+        self.compactions = 0
+        self._keys = np.empty((0, self._dim), dtype=np.float64)
+        self._key_sq = np.empty(0, dtype=np.float64)
+        self._radii = np.empty(0, dtype=np.float64)
+        self._items = np.empty(0, dtype=np.float64)
+        self._peer_ids = np.empty(0, dtype=np.int64)
+        self._entry_ids = np.empty(0, dtype=np.int64)
+        self._refcounts = np.empty(0, dtype=np.int64)
+        self._live = np.empty(0, dtype=bool)
+        self._values: list = []
+        self._row_by_id: dict[int, int] = {}
+        self._memberships: weakref.WeakSet[NodeMembership] = weakref.WeakSet()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of the stored keys."""
+        return self._dim
+
+    @property
+    def capacity(self) -> int:
+        """Allocated rows."""
+        return self._capacity
+
+    @property
+    def n_live(self) -> int:
+        """Live (non-tombstoned) rows."""
+        return self._size - self._n_tombstones
+
+    @property
+    def n_tombstones(self) -> int:
+        """Rows deleted but not yet compacted away."""
+        return self._n_tombstones
+
+    @property
+    def next_entry_id(self) -> int:
+        """The id the next :meth:`add` will assign."""
+        return self._next_entry_id
+
+    def __len__(self) -> int:
+        return self.n_live
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LevelStore(d={self._dim}, live={self.n_live}, "
+            f"tombstones={self._n_tombstones}, gen={self.generation})"
+        )
+
+    def health(self) -> dict:
+        """Store health snapshot (JSON-safe) for stats dashboards."""
+        return {
+            "live_rows": self.n_live,
+            "tombstones": self._n_tombstones,
+            "capacity": self._capacity,
+            "generation": self.generation,
+            "compactions": self.compactions,
+            "next_entry_id": self._next_entry_id,
+        }
+
+    # -- membership registry -------------------------------------------------
+
+    def _register(self, membership: NodeMembership) -> None:
+        self._memberships.add(membership)
+
+    def new_membership(self) -> NodeMembership:
+        """Create (and register) a membership for one node."""
+        return NodeMembership(self)
+
+    # -- mutation ------------------------------------------------------------
+
+    def _grow_to(self, capacity: int) -> None:
+        new_cap = max(self._capacity * 2, _INITIAL_CAPACITY)
+        while new_cap < capacity:
+            new_cap *= 2
+        keys = np.empty((new_cap, self._dim), dtype=np.float64)
+        keys[: self._size] = self._keys[: self._size]
+        self._keys = keys
+        for name in ("_key_sq", "_radii", "_items"):
+            col = np.empty(new_cap, dtype=np.float64)
+            col[: self._size] = getattr(self, name)[: self._size]
+            setattr(self, name, col)
+        for name in ("_peer_ids", "_entry_ids", "_refcounts"):
+            col = np.empty(new_cap, dtype=np.int64)
+            col[: self._size] = getattr(self, name)[: self._size]
+            setattr(self, name, col)
+        live = np.zeros(new_cap, dtype=bool)
+        live[: self._size] = self._live[: self._size]
+        self._live = live
+        self._capacity = new_cap
+
+    def add(self, key: np.ndarray, radius: float, value: object) -> int:
+        """Append one entry; returns its row index.
+
+        ``value`` is opaque; when it carries ``peer_id`` / ``items``
+        attributes (a :class:`repro.core.results.ClusterRecord`) they are
+        mirrored into the scoring columns, otherwise the row scores as
+        peer −1 with 0 items (non-record payloads are never scored).
+        """
+        return self._append(self._next_entry_id, key, radius, value)
+
+    def restore(self, entry_id: int, key: np.ndarray, radius: float,
+                value: object) -> int:
+        """Append one entry with an explicit id (deserialization path)."""
+        entry_id = int(entry_id)
+        if entry_id in self._row_by_id:
+            raise ValidationError(f"duplicate entry id {entry_id}")
+        return self._append(entry_id, key, radius, value)
+
+    def reserve_ids_through(self, floor: int) -> None:
+        """Advance the id allocator so new ids start at ``floor`` or later.
+
+        Deserialization uses this to resume past a snapshot's high-water
+        mark — including ids that were tombstoned before the snapshot and
+        therefore do not appear in it — so restored and future entries can
+        never collide.
+        """
+        self._next_entry_id = max(self._next_entry_id, int(floor))
+
+    def _append(self, entry_id: int, key: np.ndarray, radius: float,
+                value: object) -> int:
+        key = np.asarray(key, dtype=np.float64)
+        if key.shape != (self._dim,):
+            raise ValidationError(
+                f"key shape {key.shape} does not match store "
+                f"dimensionality {self._dim}"
+            )
+        radius = float(radius)
+        if radius < 0.0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        if self._size == self._capacity:
+            self._grow_to(self._size + 1)
+        row = self._size
+        self._keys[row] = key
+        self._key_sq[row] = float(key @ key)
+        self._radii[row] = radius
+        self._items[row] = float(getattr(value, "items", 0.0) or 0.0)
+        self._peer_ids[row] = int(getattr(value, "peer_id", -1))
+        self._entry_ids[row] = entry_id
+        self._refcounts[row] = 0
+        self._live[row] = True
+        self._values.append(value)
+        self._row_by_id[entry_id] = row
+        self._size += 1
+        self._next_entry_id = max(self._next_entry_id, entry_id + 1)
+        self.generation += 1
+        return row
+
+    def _incref(self, row: int) -> None:
+        if not self._live[row]:
+            raise ValidationError(f"row {row} is tombstoned")
+        self._refcounts[row] += 1
+
+    def _decref(self, row: int) -> None:
+        count = self._refcounts[row] - 1
+        if count < 0:
+            raise ValidationError(f"row {row} refcount underflow")
+        self._refcounts[row] = count
+        if count == 0 and self._live[row]:
+            self._tombstone(row)
+
+    def _tombstone(self, row: int) -> None:
+        self._live[row] = False
+        self._n_tombstones += 1
+        self._row_by_id.pop(int(self._entry_ids[row]), None)
+        self._values[row] = None  # release the payload immediately
+        self.generation += 1
+
+    def remove_entry(self, entry_id: int) -> bool:
+        """Drop one entry everywhere: every membership forgets its row.
+
+        Returns False when the id is unknown (already dead). The row is
+        tombstoned by the final membership release.
+        """
+        row = self._row_by_id.get(int(entry_id))
+        if row is None:
+            return False
+        for membership in list(self._memberships):
+            membership.discard(row)
+        if self._live[row]:  # held by no membership at all
+            self._tombstone(row)
+        return True
+
+    # -- compaction ----------------------------------------------------------
+
+    def needs_compaction(self) -> bool:
+        """True when tombstones pass the compaction threshold."""
+        if self._n_tombstones < self._compact_min_tombstones:
+            return False
+        return self._n_tombstones > self._compact_fraction * self._size
+
+    def maybe_compact(self) -> bool:
+        """Compact when past threshold; returns True when compaction ran.
+
+        Call at the *end* of a mutation batch (withdrawal, departure):
+        compaction remaps row indices, so running it mid-batch would
+        invalidate row handles the batch still holds.
+        """
+        if not self.needs_compaction():
+            return False
+        self.compact()
+        return True
+
+    def compact(self) -> None:
+        """Rewrite the columns densely and remap every membership."""
+        if self._n_tombstones == 0:
+            return
+        size = self._size
+        live = self._live[:size]
+        mapping = np.full(size, -1, dtype=np.int64)
+        mapping[live] = np.arange(int(live.sum()), dtype=np.int64)
+        new_size = int(live.sum())
+        self._keys[:new_size] = self._keys[:size][live]
+        self._key_sq[:new_size] = self._key_sq[:size][live]
+        self._radii[:new_size] = self._radii[:size][live]
+        self._items[:new_size] = self._items[:size][live]
+        self._peer_ids[:new_size] = self._peer_ids[:size][live]
+        self._entry_ids[:new_size] = self._entry_ids[:size][live]
+        self._refcounts[:new_size] = self._refcounts[:size][live]
+        self._values = [v for v, keep in zip(self._values, live) if keep]
+        self._live[:new_size] = True
+        self._live[new_size:] = False
+        self._size = new_size
+        self._n_tombstones = 0
+        self._row_by_id = {
+            int(self._entry_ids[row]): row for row in range(new_size)
+        }
+        for membership in list(self._memberships):
+            membership._remap(mapping)
+        self.compactions += 1
+        self.generation += 1
+
+    # -- lookups -------------------------------------------------------------
+
+    def row_of(self, entry_id: int) -> int:
+        """Row index of a live entry id."""
+        try:
+            return self._row_by_id[int(entry_id)]
+        except KeyError:
+            raise ValidationError(f"unknown entry id {entry_id}") from None
+
+    def entry_id_of(self, row: int) -> int:
+        """Stable entry id of a row."""
+        return int(self._entry_ids[int(row)])
+
+    def view(self, row: int) -> StoredEntryView:
+        """Entry view of one row."""
+        return StoredEntryView(self, int(row))
+
+    def key_of(self, row: int) -> np.ndarray:
+        """Key of one row (read view; do not mutate)."""
+        return self._keys[int(row)]
+
+    def radius_of(self, row: int) -> float:
+        """Radius of one row."""
+        return float(self._radii[int(row)])
+
+    def value_of(self, row: int) -> object:
+        """Payload of one row."""
+        return self._values[int(row)]
+
+    def items_of(self, rows: np.ndarray) -> np.ndarray:
+        """Item counts of ``rows`` (vectorized gather)."""
+        return self._items[np.asarray(rows, dtype=np.int64)]
+
+    def live_rows(self) -> np.ndarray:
+        """All live rows, ascending."""
+        return np.flatnonzero(self._live[: self._size])
+
+    def rows_for_peer(self, peer_id: int) -> np.ndarray:
+        """Live rows published by ``peer_id`` (vectorized column scan)."""
+        size = self._size
+        mask = self._live[:size] & (self._peer_ids[:size] == int(peer_id))
+        return np.flatnonzero(mask)
+
+    # -- the hot path --------------------------------------------------------
+
+    #: Distances this close to the disjointness boundary are recomputed
+    #: exactly: the BLAS expansion ``k·k − 2k·c + c·c`` loses ~sqrt(eps·d)
+    #: absolute accuracy to cancellation (an exact-match point lookup gives
+    #: ~1e-8 instead of 0), far coarser than the 1e-12 INTERSECTION_SLACK.
+    _BOUNDARY_BAND = 1e-5
+
+    def intersecting_rows(
+        self, rows: np.ndarray, center: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Subset of ``rows`` whose spheres intersect the query sphere.
+
+        One gathered BLAS distance pass plus the shared
+        :func:`repro.geometry.batch.spheres_intersect_batch` predicate —
+        the vectorized replacement for the per-entry ``intersects`` loop.
+        Rows whose distance lands within :data:`_BOUNDARY_BAND` of the
+        boundary are re-resolved with the exact difference norm, so the
+        returned set matches the scalar ``StoredEntry.intersects`` oracle.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return rows
+        center = np.asarray(center, dtype=np.float64)
+        keys = self._keys[rows]
+        d2 = self._key_sq[rows] - 2.0 * (keys @ center)
+        d2 += float(center @ center)
+        np.maximum(d2, 0.0, out=d2)
+        dist = np.sqrt(d2)
+        boundary = self._radii[rows] + float(radius)
+        near = np.abs(dist - boundary) <= self._BOUNDARY_BAND
+        if near.any():
+            diff = keys[near] - center
+            dist[near] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        mask = spheres_intersect_batch(self._radii[rows], float(radius), dist)
+        return rows[mask]
+
+    def intersection_mask(
+        self, center: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Per-row intersection mask for one query over the *whole* store.
+
+        One contiguous BLAS pass over the full key matrix (tombstones
+        masked out), so a range query computes it once and every visited
+        node reduces to a boolean gather of its membership rows —
+        columnar layout beats per-node key gathers by an order of
+        magnitude once replication multiplies the membership count.
+        Same boundary-band exact re-resolution as
+        :meth:`intersecting_rows`, so the two filters always agree.
+        """
+        size = self._size
+        center = np.asarray(center, dtype=np.float64)
+        if size == 0:
+            return np.empty(0, dtype=bool)
+        keys = self._keys[:size]
+        d2 = self._key_sq[:size] - 2.0 * (keys @ center)
+        d2 += float(center @ center)
+        np.maximum(d2, 0.0, out=d2)
+        dist = np.sqrt(d2)
+        boundary = self._radii[:size] + float(radius)
+        near = np.abs(dist - boundary) <= self._BOUNDARY_BAND
+        if near.any():
+            diff = keys[near] - center
+            dist[near] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        mask = spheres_intersect_batch(
+            self._radii[:size], float(radius), dist
+        )
+        mask &= self._live[:size]
+        return mask
+
+    def candidate_set(self, rows: np.ndarray) -> CandidateSet:
+        """Wrap ``rows`` (assumed deduplicated, ascending) as a snapshot."""
+        return CandidateSet(self, rows)
+
+    def union_candidates(self, row_arrays: list) -> CandidateSet:
+        """Union per-node row arrays into one deduplicated snapshot."""
+        if not row_arrays:
+            return CandidateSet(self, np.empty(0, dtype=np.int64))
+        merged = np.unique(np.concatenate(
+            [np.asarray(rows, dtype=np.int64) for rows in row_arrays]
+        ))
+        return CandidateSet(self, merged)
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify_integrity(self) -> None:
+        """Assert internal invariants (test helper; raises on violation).
+
+        * every live row's refcount equals the number of registered
+          memberships holding it;
+        * every membership row is live;
+        * the id map covers exactly the live rows.
+        """
+        counts = np.zeros(self._size, dtype=np.int64)
+        for membership in self._memberships:
+            for row in membership._rows:
+                if not self._live[row]:
+                    raise ValidationError(
+                        f"membership holds tombstoned row {row}"
+                    )
+                counts[row] += 1
+        live = self._live[: self._size]
+        if not np.array_equal(counts[live], self._refcounts[: self._size][live]):
+            raise ValidationError("refcounts disagree with memberships")
+        ids = {int(self._entry_ids[row]) for row in np.flatnonzero(live)}
+        if ids != set(self._row_by_id):
+            raise ValidationError("entry-id map disagrees with live rows")

@@ -23,6 +23,12 @@ class StoredEntry:
 
     ``radius == 0`` is a plain point object (e.g. a raw data item);
     ``radius > 0`` is a cluster-sphere summary.
+
+    Overlay storage itself lives in the columnar
+    :class:`repro.index.LevelStore`; this object type remains as the
+    scalar parity oracle (its :meth:`intersects` is the reference
+    predicate the store's batch filter is pinned to) and as the input
+    shape for legacy ``add_entry`` callers.
     """
 
     key: np.ndarray
@@ -75,9 +81,16 @@ class InsertReceipt:
 
 @dataclass
 class RangeReceipt:
-    """Accounting and results for one range query."""
+    """Accounting and results for one range query.
 
-    entries: list = field(default_factory=list)
+    ``entries`` is a :class:`repro.index.CandidateSet` for store-backed
+    overlay range queries (row indices into the shared level store plus
+    the store generation at snapshot time) or a plain list of entries for
+    point lookups and legacy callers; both support iteration, indexing
+    and ``len``, yielding objects with ``key`` / ``radius`` / ``value``.
+    """
+
+    entries: object = field(default_factory=list)
     routing_hops: int = 0
     flood_hops: int = 0
     nodes_visited: list = field(default_factory=list)

@@ -25,8 +25,6 @@ leaf as a substitute, which adopts the leaver's tree position *and* range.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.exceptions import RoutingError, ValidationError
 from repro.overlay.morton import MortonNode, MortonOverlayBase
 
@@ -122,6 +120,7 @@ class BatonNetwork(MortonOverlayBase):
         count = len(self._nodes)
         level, pos = self._next_free_slot()
         node = BatonNode(node_id, level, pos)
+        node.attach_store(self.level_store)
         self._nodes[node_id] = node
         self.fabric.register(node)
         self._by_position[(level, pos)] = node_id
@@ -141,25 +140,28 @@ class BatonNetwork(MortonOverlayBase):
                 parent.right_child = node_id
                 node.range_lo, node.range_hi = mid, parent.range_hi
                 parent.range_hi = mid
-            moved = [
-                e
-                for e in parent.store
-                if node.owns(self.scalar_key(e.key))
-                or (e.radius > 0 and self._sphere_touches(e, node))
-            ]
-            parent.store = [
-                e
-                for e in parent.store
-                if parent.owns(self.scalar_key(e.key))
-                or (e.radius > 0 and self._sphere_touches(e, parent))
-            ]
-            node.absorb_entries(moved)
+            store = self.level_store
+
+            def belongs(row: int, holder: BatonNode) -> bool:
+                key = store.key_of(row)
+                radius = store.radius_of(row)
+                return holder.owns(self.scalar_key(key)) or (
+                    radius > 0 and self._sphere_touches(key, radius, holder)
+                )
+
+            parent_rows = parent.membership.rows()
+            moved = [r for r in parent_rows if belongs(r, node)]
+            released = [r for r in parent_rows if not belongs(r, parent)]
+            # New holder first, then release: a row held only by the parent
+            # must never be transiently unreferenced (it would tombstone).
+            node.absorb_rows(moved)
+            parent.membership.discard_many(released)
         self._rebuild_tables()
         return node_id
 
-    def _sphere_touches(self, entry, node: BatonNode) -> bool:
-        """Does the entry's Morton interval cover touch the node's range?"""
-        for node_id in self._sphere_interval_nodes(entry.key, entry.radius):
+    def _sphere_touches(self, key, radius: float, node: BatonNode) -> bool:
+        """Does the sphere's Morton interval cover touch the node's range?"""
+        for node_id in self._sphere_interval_nodes(key, radius):
             if node_id == node.node_id:
                 return True
         return False
@@ -206,8 +208,10 @@ class BatonNetwork(MortonOverlayBase):
                 node.range_lo,
                 node.range_hi,
             )
-            substitute.absorb_entries(node.store)
+            substitute.absorb_rows(node.membership.rows())
             self._by_position[(node.level, node.pos)] = substitute_id
+        node.membership.clear()
+        self.level_store.maybe_compact()
         del self._nodes[node_id]
         self._by_position = {
             (n.level, n.pos): nid for nid, n in self._nodes.items()
@@ -227,8 +231,8 @@ class BatonNetwork(MortonOverlayBase):
         else:
             absorber = self.node(ids[at + 1])
             absorber.range_lo = leaf.range_lo
-        absorber.absorb_entries(leaf.store)
-        leaf.store = []
+        absorber.absorb_rows(leaf.membership.rows())
+        leaf.membership.clear()
         self._by_position.pop((leaf.level, leaf.pos), None)
         if leaf.parent is not None and leaf.parent in self._nodes:
             parent = self.node(leaf.parent)

@@ -7,10 +7,11 @@ from collections import deque
 import numpy as np
 
 from repro.exceptions import EmptyNetworkError, OverlayError, ValidationError
+from repro.index import LevelStore
 from repro.net.messages import MessageKind, vector_message_size
 from repro.net.network import Network
 from repro.obs import trace as obs_trace
-from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
+from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
 from repro.overlay.can.node import CANNode
 from repro.overlay.can.routing import route_to_owner
 from repro.overlay.can.zone import Zone
@@ -61,6 +62,8 @@ class CANNetwork(Overlay):
         self._rng = ensure_rng(rng)
         self._nodes: dict[int, CANNode] = {}
         self._next_id = int(node_id_offset)
+        #: The shared columnar index for this overlay (one per level).
+        self.level_store = LevelStore(self._dim)
 
     # -- Overlay interface ----------------------------------------------------
 
@@ -106,6 +109,7 @@ class CANNetwork(Overlay):
         self._next_id += 1
         if not self._nodes:
             node = CANNode(node_id, Zone.full(self._dim))
+            node.attach_store(self.level_store)
             self._nodes[node_id] = node
             self.fabric.register(node)
             return node_id
@@ -139,6 +143,7 @@ class CANNetwork(Overlay):
                 new_zone, owner_zone = lower, upper
             new_node = CANNode(node_id, new_zone)
             owner.set_zone(owner_zone)
+        new_node.attach_store(self.level_store)
         self._nodes[node_id] = new_node
         self.fabric.register(new_node)
         self._handoff_state(owner, new_node)
@@ -146,19 +151,24 @@ class CANNetwork(Overlay):
 
     def _handoff_state(self, owner: CANNode, new_node: CANNode) -> None:
         """Redistribute entries and rebuild neighbour links after a join."""
-        kept: list[StoredEntry] = []
-        for entry in owner.store:
-            in_owner = owner.intersects_sphere(entry.key, entry.radius)
-            in_new = new_node.intersects_sphere(entry.key, entry.radius)
-            if in_owner:
-                kept.append(entry)
+        store = self.level_store
+        moved: list[int] = []
+        released: list[int] = []
+        for row in owner.membership.rows():
+            key = store.key_of(row)
+            radius = store.radius_of(row)
+            in_owner = owner.intersects_sphere(key, radius)
+            in_new = new_node.intersects_sphere(key, radius)
             if in_new:
-                new_node.add_entry(entry)
-            if not in_owner and not in_new:
-                # Degenerate float-boundary case; keep at the owner so
-                # nothing is silently lost.
-                kept.append(entry)
-        owner.store = kept
+                moved.append(row)
+            if not in_owner and in_new:
+                released.append(row)
+            # Rows intersecting neither zone (degenerate float boundary)
+            # stay at the owner so nothing is silently lost.
+        # New holder first, then release: a row held only by the owner must
+        # never be transiently unreferenced (it would tombstone).
+        new_node.absorb_rows(moved)
+        owner.membership.discard_many(released)
 
         # Any neighbour of the new ownership regions was a neighbour of the
         # pre-join owner, so candidates are its old neighbours plus the pair.
@@ -200,16 +210,32 @@ class CANNetwork(Overlay):
         leaving = self.node(node_id)
         del self._nodes[node_id]
         if not self._nodes:
-            return  # last node took the whole key space with it
+            # Last node took the whole key space (and every entry) with it.
+            leaving.membership.clear()
+            self.level_store.maybe_compact()
+            return
 
         for zone in leaving.zones:
             self._reassign_zone(zone, leaving)
+        # Release only after every zone's new owner holds its rows; rows no
+        # other node picked up are tombstoned here, exactly when the old
+        # per-node lists would have dropped them.
+        leaving.membership.clear()
+        self.level_store.maybe_compact()
         self._rebuild_all_neighbors()
 
     def _reassign_zone(self, zone: Zone, leaving: CANNode) -> None:
-        """Give one departing zone (and relevant entries) a new owner."""
-        entries = [
-            e for e in leaving.store if zone.intersects_sphere(e.key, e.radius)
+        """Give one departing zone (and relevant rows) a new owner.
+
+        Rows are *added* to the new owner's membership here; the leaver
+        releases its whole membership once at the end of :meth:`leave`, so
+        handed-over rows are never transiently unreferenced.
+        """
+        store = self.level_store
+        rows = [
+            row
+            for row in leaving.membership.rows()
+            if zone.intersects_sphere(store.key_of(row), store.radius_of(row))
         ]
         neighbors = [
             self._nodes[nid] for nid in leaving.neighbors if nid in self._nodes
@@ -224,7 +250,7 @@ class CANNetwork(Overlay):
             merged = zone.merge_with(neighbor.zones[0])
             if merged is not None:
                 neighbor.set_zone(merged)
-                self._absorb_entries(neighbor, entries)
+                neighbor.absorb_rows(rows)
                 return
         # 2. collapse the smallest mergeable sibling pair elsewhere.
         pair = self._smallest_mergeable_pair()
@@ -238,28 +264,19 @@ class CANNetwork(Overlay):
             keeper.set_zones(
                 self._replace_zone(keeper.zones, keeper_zone, merged)
             )
-            self._absorb_entries(keeper, mover.store)
-            mover.store = []
+            keeper.absorb_rows(mover.membership.rows())
+            mover.membership.clear()
             mover.set_zone(zone)
-            self._absorb_entries(mover, entries)
+            mover.absorb_rows(rows)
             return
         # 3. pinwheel fallback: smallest neighbour handles the zone too.
         takeover = min(neighbors, key=lambda n: n.volume)
         takeover.set_zones(takeover.zones + [zone])
-        self._absorb_entries(takeover, entries)
+        takeover.absorb_rows(rows)
 
     @staticmethod
     def _replace_zone(zones: list[Zone], old: Zone, new: Zone) -> list[Zone]:
         return [new if z is old else z for z in zones]
-
-    @staticmethod
-    def _absorb_entries(node: CANNode, entries: list[StoredEntry]) -> None:
-        """Add ``entries`` to ``node`` without duplicating replicas."""
-        held = {id(entry) for entry in node.store}
-        for entry in entries:
-            if id(entry) not in held:
-                node.add_entry(entry)
-                held.add(id(entry))
 
     def _smallest_mergeable_pair(self):
         """Find the mergeable zone pair of least merged volume.
@@ -325,19 +342,19 @@ class CANNetwork(Overlay):
         """
         key = check_unit_cube(check_vector(key, "key", dim=self._dim), "key")
         check_positive(radius, "radius", strict=False)
-        entry = StoredEntry(key=key, radius=float(radius), value=value)
         owner_id, path = route_to_owner(self, origin, key)
         size = vector_message_size(self._dim, scalars=2)
         prev = origin
         for hop_id in path:
             self.fabric.transmit(prev, hop_id, MessageKind.INSERT, size)
             prev = hop_id
-        self.node(owner_id).add_entry(entry)
+        row = self.level_store.add(key, float(radius), value)
+        self.node(owner_id).add_row(row)
         replicas: list[int] = []
         if radius > 0.0:
             from repro.overlay.can.replication import replicate_sphere
 
-            replicas = replicate_sphere(self, owner_id, entry)
+            replicas = replicate_sphere(self, owner_id, row)
         receipt = InsertReceipt(
             owner=owner_id, routing_hops=len(path), replicas=len(replicas)
         )
@@ -379,7 +396,10 @@ class CANNetwork(Overlay):
             self.fabric.transmit(prev, hop_id, MessageKind.RANGE_QUERY, size)
             prev = hop_id
 
-        seen_entries: dict[int, StoredEntry] = {}
+        # One store-wide intersection pass per query; each visited node
+        # then filters its membership with a boolean gather.
+        mask = self.level_store.intersection_mask(center, radius)
+        row_arrays: list[np.ndarray] = []
         visited = {owner_id}
         order = [owner_id]
         flood_hops = 0
@@ -387,8 +407,7 @@ class CANNetwork(Overlay):
         while queue:
             current_id = queue.popleft()
             current = self.node(current_id)
-            for entry in current.entries_intersecting(center, radius):
-                seen_entries.setdefault(id(entry), entry)
+            row_arrays.append(current.rows_matching(mask))
             for neighbor_id, zones in current.neighbors.items():
                 if neighbor_id in visited:
                     continue
@@ -410,7 +429,7 @@ class CANNetwork(Overlay):
                 flood_hops=flood_hops, zones_visited=len(order)
             )
         return RangeReceipt(
-            entries=list(seen_entries.values()),
+            entries=self.level_store.union_candidates(row_arrays),
             routing_hops=len(path),
             flood_hops=flood_hops,
             nodes_visited=order,

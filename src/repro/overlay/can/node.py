@@ -13,11 +13,11 @@ import numpy as np
 
 from repro.exceptions import OverlayError
 from repro.net.node import SimNode
-from repro.overlay.base import StoredEntry
 from repro.overlay.can.zone import Zone
+from repro.overlay.storage import StoreBackedNode
 
 
-class CANNode(SimNode):
+class CANNode(SimNode, StoreBackedNode):
     """One CAN participant.
 
     Attributes
@@ -27,16 +27,17 @@ class CANNode(SimNode):
     neighbors:
         Mapping ``node_id -> tuple[Zone, ...]`` — snapshot of each
         neighbour's zone set, used for greedy routing and flooding.
-    store:
-        Entries this node holds: everything whose key falls in (or whose
-        sphere overlaps) its zones.
+    membership:
+        Row indices (into the overlay's shared level store) of the entries
+        this node holds: everything whose key falls in (or whose sphere
+        overlaps) its zones. The legacy ``store`` property views them.
     """
 
     def __init__(self, node_id: int, zone: Zone):
         super().__init__(node_id)
         self.zones: list[Zone] = [zone]
         self.neighbors: dict[int, tuple[Zone, ...]] = {}
-        self.store: list[StoredEntry] = []
+        self._init_storage()
 
     # -- zone geometry (over all owned zones) --------------------------------
 
@@ -98,24 +99,5 @@ class CANNode(SimNode):
         )
 
     # -- storage --------------------------------------------------------------
-
-    def add_entry(self, entry: StoredEntry) -> None:
-        """Store a published entry."""
-        self.store.append(entry)
-
-    def entries_intersecting(
-        self, center: np.ndarray, radius: float
-    ) -> list[StoredEntry]:
-        """Local entries whose spheres intersect the query sphere."""
-        return [e for e in self.store if e.intersects(center, radius)]
-
-    def drop_entries(self, predicate) -> int:
-        """Remove entries matching ``predicate``; returns how many."""
-        before = len(self.store)
-        self.store = [e for e in self.store if not predicate(e)]
-        return before - len(self.store)
-
-    @property
-    def load(self) -> int:
-        """Number of stored entries."""
-        return len(self.store)
+    # Inherited from StoreBackedNode: membership rows into the overlay's
+    # shared level store, plus the legacy entry-view surface.

@@ -14,21 +14,23 @@ from collections import deque
 
 from repro.net.messages import MessageKind, vector_message_size
 from repro.obs import trace as obs_trace
-from repro.overlay.base import StoredEntry
 
 
-def replicate_sphere(
-    network, owner_id: int, entry: StoredEntry
-) -> list[int]:
-    """Propagate ``entry`` from its owner to all zone-overlapping nodes.
+def replicate_sphere(network, owner_id: int, row: int) -> list[int]:
+    """Propagate a stored row from its owner to all zone-overlapping nodes.
 
     Breadth-first over neighbour links, crossing only nodes whose zones
-    intersect the entry's sphere (that region is convex, so it is connected
-    in the neighbour graph). Returns the replica node ids (owner excluded);
-    one ``REPLICATE`` hop is charged per replica.
+    intersect the row's sphere (that region is convex, so it is connected
+    in the neighbour graph). Each replica node adds the *same* store row to
+    its membership — replication is multi-membership, not object copies.
+    Returns the replica node ids (owner excluded); one ``REPLICATE`` hop is
+    charged per replica.
     """
+    store = network.level_store
+    key = store.key_of(row)
+    radius = store.radius_of(row)
     fabric = network.fabric
-    size = vector_message_size(entry.key.shape[0], scalars=2)
+    size = vector_message_size(key.shape[0], scalars=2)
     visited = {owner_id}
     replicas: list[int] = []
     queue = deque([owner_id])
@@ -39,12 +41,12 @@ def replicate_sphere(
             if neighbor_id in visited:
                 continue
             if not any(
-                z.intersects_sphere(entry.key, entry.radius) for z in zones
+                z.intersects_sphere(key, radius) for z in zones
             ):
                 continue
             visited.add(neighbor_id)
             fabric.transmit(current_id, neighbor_id, MessageKind.REPLICATE, size)
-            network.node(neighbor_id).add_entry(entry)
+            network.node(neighbor_id).add_row(row)
             replicas.append(neighbor_id)
             queue.append(neighbor_id)
     recorder = obs_trace.state.recorder

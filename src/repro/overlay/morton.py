@@ -17,10 +17,12 @@ import bisect
 import numpy as np
 
 from repro.exceptions import EmptyNetworkError, ValidationError
+from repro.index import LevelStore
 from repro.net.messages import MessageKind, vector_message_size
 from repro.net.network import Network
 from repro.net.node import SimNode
-from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
+from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
+from repro.overlay.storage import StoreBackedNode
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, check_unit_cube, check_vector
 
@@ -102,39 +104,12 @@ def covering_intervals(
     return merged
 
 
-class MortonNode(SimNode):
-    """A member node of a Morton-mapped overlay: just an entry store."""
+class MortonNode(SimNode, StoreBackedNode):
+    """A member node of a Morton-mapped overlay: just its held rows."""
 
     def __init__(self, node_id: int):
         super().__init__(node_id)
-        self.store: list[StoredEntry] = []
-
-    def add_entry(self, entry: StoredEntry) -> None:
-        """Store a published entry."""
-        self.store.append(entry)
-
-    def entries_intersecting(self, center, radius) -> list[StoredEntry]:
-        """Local entries whose spheres intersect the query sphere."""
-        return [e for e in self.store if e.intersects(center, radius)]
-
-    def drop_entries(self, predicate) -> int:
-        """Remove entries matching ``predicate``; returns how many."""
-        before = len(self.store)
-        self.store = [e for e in self.store if not predicate(e)]
-        return before - len(self.store)
-
-    def absorb_entries(self, entries) -> None:
-        """Add ``entries`` without duplicating shared replica objects."""
-        held = {id(e) for e in self.store}
-        for entry in entries:
-            if id(entry) not in held:
-                self.add_entry(entry)
-                held.add(id(entry))
-
-    @property
-    def load(self) -> int:
-        """Number of stored entries."""
-        return len(self.store)
+        self._init_storage()
 
 
 class MortonOverlayBase(Overlay, abc.ABC):
@@ -166,6 +141,8 @@ class MortonOverlayBase(Overlay, abc.ABC):
         self._rng = ensure_rng(rng)
         self._nodes: dict[int, MortonNode] = {}
         self._next_id = int(node_id_offset)
+        #: The shared columnar index for this overlay (one per level).
+        self.level_store = LevelStore(self._dim)
 
     # -- abstract hooks ---------------------------------------------------
 
@@ -247,14 +224,18 @@ class MortonOverlayBase(Overlay, abc.ABC):
     def insert(
         self, origin: int, key: np.ndarray, value: object, *, radius: float = 0.0
     ) -> InsertReceipt:
-        """Publish an entry; spheres replicate across their Morton cover."""
+        """Publish an entry; spheres replicate across their Morton cover.
+
+        The entry becomes one row of the shared level store; replication
+        is multi-membership of that row at every covering node.
+        """
         key = check_unit_cube(check_vector(key, "key", dim=self._dim), "key")
         check_positive(radius, "radius", strict=False)
-        entry = StoredEntry(key=key, radius=float(radius), value=value)
         owner_id, path = self._route(origin, self.scalar_key(key))
         size = vector_message_size(self._dim, scalars=2)
         self._charge_path(origin, path, MessageKind.INSERT, size)
-        self.node(owner_id).add_entry(entry)
+        row = self.level_store.add(key, float(radius), value)
+        self.node(owner_id).add_row(row)
         replicas = 0
         if radius > 0.0:
             for node_id in self._sphere_interval_nodes(key, radius):
@@ -263,7 +244,7 @@ class MortonOverlayBase(Overlay, abc.ABC):
                 self.fabric.transmit(
                     owner_id, node_id, MessageKind.REPLICATE, size
                 )
-                self.node(node_id).add_entry(entry)
+                self.node(node_id).add_row(row)
                 replicas += 1
         receipt = InsertReceipt(
             owner=owner_id, routing_hops=len(path), replicas=replicas
@@ -294,7 +275,10 @@ class MortonOverlayBase(Overlay, abc.ABC):
         targets = self._sphere_interval_nodes(
             np.clip(center, 0.0, 1.0), radius
         )
-        seen_entries: dict[int, StoredEntry] = {}
+        # One store-wide intersection pass per query; each visited node
+        # then filters its membership with a boolean gather.
+        mask = self.level_store.intersection_mask(center, radius)
+        row_arrays: list[np.ndarray] = []
         visited: list[int] = []
         routing_hops = 0
         for node_id in targets:
@@ -302,11 +286,10 @@ class MortonOverlayBase(Overlay, abc.ABC):
             self._charge_path(origin, path, MessageKind.RANGE_QUERY, size)
             routing_hops += len(path)
             visited.append(node_id)
-            for entry in self.node(node_id).entries_intersecting(center, radius):
-                seen_entries.setdefault(id(entry), entry)
+            row_arrays.append(self.node(node_id).rows_matching(mask))
         self.fabric.finish_operation(MessageKind.RANGE_QUERY, routing_hops)
         return RangeReceipt(
-            entries=list(seen_entries.values()),
+            entries=self.level_store.union_candidates(row_arrays),
             routing_hops=routing_hops,
             flood_hops=0,
             nodes_visited=visited,

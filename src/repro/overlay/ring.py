@@ -73,6 +73,7 @@ class RingNetwork(MortonOverlayBase):
             while position in self._positions:  # pragma: no cover
                 position = float(self._rng.random())
         node = RingNode(node_id, position)
+        node.attach_store(self.level_store)
         self._nodes[node_id] = node
         self.fabric.register(node)
         at = bisect.bisect_left(self._positions, position)
@@ -103,11 +104,17 @@ class RingNetwork(MortonOverlayBase):
         self._positions.pop(at)
         self._ids_by_position.pop(at)
         if not self._nodes:
+            node.membership.clear()
+            self.level_store.maybe_compact()
             return
         predecessor_id = self._ids_by_position[
             (at - 1) % len(self._ids_by_position)
         ]
-        self.node(predecessor_id).absorb_entries(node.store)
+        # Hand the rows over before the leaver releases them, so entries
+        # held only here are never transiently unreferenced.
+        self.node(predecessor_id).absorb_rows(node.membership.rows())
+        node.membership.clear()
+        self.level_store.maybe_compact()
         self._rebuild_fingers()
 
     def _rebuild_fingers(self) -> None:

@@ -1,0 +1,135 @@
+"""Store-backed node storage: the bridge between nodes and the level store.
+
+Overlay nodes no longer own ``list[StoredEntry]`` objects. Each node holds
+a :class:`repro.index.NodeMembership` — a set of row indices into the
+overlay's shared :class:`repro.index.LevelStore` — and this mixin provides
+the storage surface every overlay node class shares:
+
+* row-level operations (``add_row`` / ``absorb_rows`` /
+  ``rows_intersecting``) used by the overlay protocols, where node-local
+  filtering is one vectorized ``spheres_intersect_batch`` call over the
+  node's row slice;
+* the legacy entry surface (``store`` / ``add_entry`` /
+  ``entries_intersecting`` / ``drop_entries``) kept for tests and external
+  callers, returning :class:`repro.index.StoredEntryView` objects.
+
+Nodes constructed inside an overlay are attached to the overlay's shared
+store via :meth:`attach_store`. A node constructed standalone (unit tests
+build ``MortonNode(1)`` directly) lazily creates a private store sized
+from its first entry, so the legacy surface keeps working unattached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import OverlayError
+from repro.index import LevelStore, NodeMembership, StoredEntryView
+
+
+class StoreBackedNode:
+    """Mixin giving an overlay node membership-based storage."""
+
+    def _init_storage(self) -> None:
+        self._level_store: LevelStore | None = None
+        self.membership: NodeMembership | None = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_store(self, store: LevelStore) -> None:
+        """Join a shared level store (called by the overlay on join)."""
+        if self.membership is not None and len(self.membership):
+            raise OverlayError(
+                "cannot attach a store to a node already holding entries"
+            )
+        self._level_store = store
+        self.membership = store.new_membership()
+
+    @property
+    def level_store(self) -> LevelStore | None:
+        """The backing store, or None before attachment/first entry."""
+        return self._level_store
+
+    def _ensure_store(self, dimensionality: int) -> LevelStore:
+        if self._level_store is None:
+            self.attach_store(LevelStore(dimensionality))
+        return self._level_store
+
+    # -- row surface (overlay protocols) ---------------------------------------
+
+    def add_row(self, row: int) -> bool:
+        """Hold one store row; False when already held."""
+        return self.membership.add(row)
+
+    def absorb_rows(self, rows) -> int:
+        """Hold every row in ``rows`` not yet held; returns how many were new.
+
+        Replica-safe by construction: membership is a set of rows, so a
+        row absorbed twice (the old shared-``StoredEntry`` dedup problem)
+        is held once.
+        """
+        return self.membership.add_many(rows)
+
+    def rows_intersecting(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Held rows whose spheres intersect the query sphere (one batch call)."""
+        if self.membership is None or not len(self.membership):
+            return np.empty(0, dtype=np.int64)
+        return self.membership.intersecting_rows(center, radius)
+
+    def rows_matching(self, mask: np.ndarray) -> np.ndarray:
+        """Held rows selected by a per-query store-wide intersection mask.
+
+        Range queries compute one :meth:`LevelStore.intersection_mask`
+        per query; each visited node then filters its membership with a
+        boolean gather instead of re-gathering its keys.
+        """
+        if self.membership is None or not len(self.membership):
+            return np.empty(0, dtype=np.int64)
+        return self.membership.rows_matching(mask)
+
+    # -- legacy entry surface ---------------------------------------------------
+
+    @property
+    def store(self) -> list[StoredEntryView]:
+        """Held entries as read views (legacy ``node.store`` surface)."""
+        if self.membership is None:
+            return []
+        return self.membership.entries()
+
+    def add_entry(self, entry) -> None:
+        """Store a published entry (legacy surface; takes a ``StoredEntry``).
+
+        Appends a fresh row to the node's store — standalone nodes get a
+        private store sized from the entry's key. Overlay code paths use
+        :meth:`add_row` with the shared store instead.
+        """
+        key = np.asarray(entry.key, dtype=np.float64)
+        store = self._ensure_store(key.shape[0])
+        self.membership.add(store.add(key, entry.radius, entry.value))
+
+    def entries_intersecting(self, center, radius) -> list[StoredEntryView]:
+        """Held entries whose spheres intersect the query sphere, as views."""
+        if self.membership is None:
+            return []
+        store = self._level_store
+        return [
+            StoredEntryView(store, int(row))
+            for row in self.rows_intersecting(
+                np.asarray(center, dtype=np.float64), radius
+            )
+        ]
+
+    def drop_entries(self, predicate) -> int:
+        """Release held entries matching ``predicate``; returns how many.
+
+        The predicate receives a :class:`StoredEntryView`; rows released
+        by their last holder are tombstoned in the shared store.
+        """
+        if self.membership is None:
+            return 0
+        return self.membership.drop_where(predicate)
+
+    @property
+    def load(self) -> int:
+        """Number of held entries."""
+        return 0 if self.membership is None else len(self.membership)

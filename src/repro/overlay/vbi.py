@@ -25,14 +25,15 @@ intersecting leaf (the same Figure 6 requirement as CAN).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import EmptyNetworkError, RoutingError, ValidationError
+from repro.index import LevelStore
 from repro.net.messages import MessageKind, vector_message_size
 from repro.net.network import Network
-from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
+from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
 from repro.overlay.can.zone import Zone
 from repro.overlay.morton import MortonNode
 from repro.utils.rng import ensure_rng
@@ -89,6 +90,8 @@ class VBITree(Overlay):
         self._nodes: dict[int, VBILeaf] = {}
         self._next_id = int(node_id_offset)
         self._tree: dict[int, _VirtualNode] = {}
+        #: The shared columnar index for this overlay (one per level).
+        self.level_store = LevelStore(self._dim)
 
     # -- Overlay interface ----------------------------------------------------
 
@@ -126,6 +129,7 @@ class VBITree(Overlay):
         self._next_id += 1
         if not self._nodes:
             leaf = VBILeaf(node_id, Zone.full(self._dim))
+            leaf.attach_store(self.level_store)
             leaf.tree_index = 0
             self._nodes[node_id] = leaf
             self.fabric.register(leaf)
@@ -145,6 +149,7 @@ class VBITree(Overlay):
         left_region, right_region = parent_vn.region.split(split_dim)
 
         new_leaf = VBILeaf(node_id, right_region)
+        new_leaf.attach_store(self.level_store)
         self._nodes[node_id] = new_leaf
         self.fabric.register(new_leaf)
         old_leaf.region = left_region
@@ -165,17 +170,20 @@ class VBITree(Overlay):
         self._refresh_managers()
 
         # Hand over the entries falling in (or overlapping) the new region.
+        store = self.level_store
+        old_rows = old_leaf.membership.rows()
         moved = [
-            e
-            for e in old_leaf.store
-            if right_region.intersects_sphere(e.key, e.radius)
+            r for r in old_rows
+            if right_region.intersects_sphere(store.key_of(r), store.radius_of(r))
         ]
-        old_leaf.store = [
-            e
-            for e in old_leaf.store
-            if left_region.intersects_sphere(e.key, e.radius)
+        released = [
+            r for r in old_rows
+            if not left_region.intersects_sphere(store.key_of(r), store.radius_of(r))
         ]
-        new_leaf.absorb_entries(moved)
+        # New holder first, then release (rows held only here must never be
+        # transiently unreferenced).
+        new_leaf.absorb_rows(moved)
+        old_leaf.membership.discard_many(released)
         return node_id
 
     def leave(self, node_id: int) -> None:
@@ -191,6 +199,8 @@ class VBITree(Overlay):
         del self._nodes[node_id]
         if not self._nodes:
             self._tree.clear()
+            leaf.membership.clear()
+            self.level_store.maybe_compact()
             return
         vn = self._tree[leaf.tree_index]
         sibling_index = self._sibling_index(leaf.tree_index)
@@ -206,7 +216,9 @@ class VBITree(Overlay):
             substitute.tree_index = leaf.tree_index
             substitute.region = leaf.region
             vn.leaf_id = substitute.node_id
-            substitute.absorb_entries(leaf.store)
+            substitute.absorb_rows(leaf.membership.rows())
+            leaf.membership.clear()
+        self.level_store.maybe_compact()
         self._refresh_managers()
 
     @staticmethod
@@ -224,8 +236,8 @@ class VBITree(Overlay):
         parent_vn.children = None
         survivor.region = parent_vn.region
         survivor.tree_index = parent_index
-        survivor.absorb_entries(leaving.store)
-        leaving.store = []
+        survivor.absorb_rows(leaving.membership.rows())
+        leaving.membership.clear()
         # Remove both child slots: the parent is a leaf again.
         left_index, right_index = 2 * parent_index + 1, 2 * parent_index + 2
         self._tree.pop(left_index, None)
@@ -316,14 +328,18 @@ class VBITree(Overlay):
     def insert(
         self, origin: int, key: np.ndarray, value: object, *, radius: float = 0.0
     ) -> InsertReceipt:
-        """Publish an entry; spheres replicate to every intersecting leaf."""
+        """Publish an entry; spheres replicate to every intersecting leaf.
+
+        The entry becomes one row of the shared level store; replication
+        is multi-membership of that row at every intersecting leaf.
+        """
         key = check_unit_cube(check_vector(key, "key", dim=self._dim), "key")
         check_positive(radius, "radius", strict=False)
-        entry = StoredEntry(key=key, radius=float(radius), value=value)
         owner_id, path = self._route(origin, key)
         size = vector_message_size(self._dim, scalars=2)
         self._charge_path(origin, path, MessageKind.INSERT, size)
-        self.node(owner_id).add_entry(entry)
+        row = self.level_store.add(key, float(radius), value)
+        self.node(owner_id).add_row(row)
         replicas = 0
         if radius > 0.0:
             for leaf_id in self._leaves_intersecting(key, radius):
@@ -332,7 +348,7 @@ class VBITree(Overlay):
                 self.fabric.transmit(
                     owner_id, leaf_id, MessageKind.REPLICATE, size
                 )
-                self.node(leaf_id).add_entry(entry)
+                self.node(leaf_id).add_row(row)
                 replicas += 1
         receipt = InsertReceipt(
             owner=owner_id, routing_hops=len(path), replicas=replicas
@@ -370,7 +386,10 @@ class VBITree(Overlay):
         self._charge_path(origin, path, MessageKind.RANGE_QUERY, size)
 
         targets = self._leaves_intersecting(np.clip(center, 0, 1), radius)
-        seen_entries: dict[int, StoredEntry] = {}
+        # One store-wide intersection pass per query; each visited node
+        # then filters its membership with a boolean gather.
+        mask = self.level_store.intersection_mask(center, radius)
+        row_arrays: list[np.ndarray] = []
         visited: list[int] = []
         flood_hops = 0
         previous = owner_id
@@ -382,13 +401,12 @@ class VBITree(Overlay):
                 flood_hops += 1
                 previous = leaf_id
             visited.append(leaf_id)
-            for entry in self.node(leaf_id).entries_intersecting(center, radius):
-                seen_entries.setdefault(id(entry), entry)
+            row_arrays.append(self.node(leaf_id).rows_matching(mask))
         self.fabric.finish_operation(
             MessageKind.RANGE_QUERY, len(path) + flood_hops
         )
         return RangeReceipt(
-            entries=list(seen_entries.values()),
+            entries=self.level_store.union_candidates(row_arrays),
             routing_hops=len(path),
             flood_hops=flood_hops,
             nodes_visited=visited,

@@ -18,6 +18,21 @@ class TestCliCommands:
         out = capsys.readouterr().out
         assert "C-knob" in out
 
+    def test_stats(self, capsys):
+        assert main(["stats", "--peers", "4", "--churn", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-level store health" in out
+        assert "tombstones" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "--peers", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["levels"]
+        for level_stats in payload["stats"]["levels"].values():
+            assert "store" in level_stats
+
     def test_fig8c(self, capsys):
         assert main(["fig8c", "--peers", "6"]) == 0
         out = capsys.readouterr().out

@@ -5,7 +5,6 @@ import pytest
 
 from repro.clustering.summaries import summarize_peer_data
 from repro.exceptions import ClusteringError
-from repro.wavelets.multiresolution import Level
 
 
 class TestSummarizePeerData:

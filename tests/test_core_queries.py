@@ -1,7 +1,6 @@
 """Tests for range/point query processing — including the paper's central
 no-false-dismissal guarantee, checked end-to-end."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import CentralizedIndex

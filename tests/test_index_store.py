@@ -1,0 +1,342 @@
+"""Unit and property tests for the columnar level store.
+
+Covers the store engine itself (columns, entry ids, refcounted
+memberships, tombstones, compaction, generations), the ``CandidateSet``
+staleness contract, and the property-based parity pin: store-backed
+filtering and scoring must match the scalar ``StoredEntry.intersects`` /
+``level_scores_scalar`` oracle to 1e-9.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import ClusterRecord
+from repro.core.scoring import level_scores, level_scores_scalar
+from repro.core.serialization import (
+    level_store_from_dict,
+    level_store_to_dict,
+    load_level_store,
+    save_level_store,
+)
+from repro.exceptions import StaleCandidateError, ValidationError
+from repro.index import CandidateSet, LevelStore
+from repro.overlay.base import StoredEntry
+
+
+def _record(peer: int, items: int = 10) -> ClusterRecord:
+    return ClusterRecord(peer_id=peer, items=items, level_name="A")
+
+
+def _populate(store: LevelStore, n: int, d: int, rng, n_peers: int = 8):
+    """Add ``n`` random spheres; returns their rows."""
+    keys = rng.random((n, d))
+    radii = rng.uniform(0.0, 0.5, n)
+    peers = rng.integers(0, n_peers, n)
+    return [
+        store.add(keys[i], float(radii[i]), _record(int(peers[i])))
+        for i in range(n)
+    ]
+
+
+class TestLevelStoreBasics:
+    def test_add_assigns_monotonic_entry_ids(self, rng):
+        store = LevelStore(3)
+        rows = _populate(store, 5, 3, rng)
+        ids = [store.entry_id_of(r) for r in rows]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+        assert store.next_entry_id == max(ids) + 1
+
+    def test_columns_mirror_values(self, rng):
+        store = LevelStore(4)
+        key = rng.random(4)
+        row = store.add(key, 0.25, _record(7, items=42))
+        view = store.view(row)
+        assert np.allclose(view.key, key)
+        assert view.radius == 0.25
+        assert view.peer_id == 7
+        assert view.items == 42.0
+        assert view.value.level_name == "A"
+
+    def test_dimension_mismatch_rejected(self, rng):
+        store = LevelStore(4)
+        with pytest.raises(ValidationError):
+            store.add(rng.random(5), 0.1, _record(0))
+
+    def test_negative_radius_rejected(self, rng):
+        store = LevelStore(2)
+        with pytest.raises(ValidationError):
+            store.add(rng.random(2), -0.1, _record(0))
+
+    def test_capacity_grows_geometrically(self, rng):
+        store = LevelStore(2)
+        _populate(store, 200, 2, rng)
+        assert store.n_live == 200
+        assert store.capacity >= 200
+
+    def test_generation_bumps_on_every_mutation(self, rng):
+        store = LevelStore(2)
+        g0 = store.generation
+        row = store.add(rng.random(2), 0.1, _record(0))
+        g1 = store.generation
+        assert g1 > g0
+        membership = store.new_membership()
+        membership.add(row)
+        membership.discard(row)  # last holder: tombstones the row
+        assert store.generation > g1
+
+
+class TestMembershipRefcounts:
+    def test_last_discard_tombstones(self, rng):
+        store = LevelStore(2)
+        row = store.add(rng.random(2), 0.1, _record(0))
+        a = store.new_membership()
+        b = store.new_membership()
+        a.add(row)
+        b.add(row)
+        a.discard(row)
+        assert store.n_live == 1  # b still holds it
+        b.discard(row)
+        assert store.n_live == 0
+        assert store.n_tombstones == 1
+
+    def test_double_add_is_idempotent(self, rng):
+        store = LevelStore(2)
+        row = store.add(rng.random(2), 0.1, _record(0))
+        m = store.new_membership()
+        assert m.add(row) is True
+        assert m.add(row) is False
+        assert len(m) == 1
+        m.discard(row)
+        assert store.n_live == 0
+
+    def test_add_tombstoned_row_rejected(self, rng):
+        store = LevelStore(2)
+        row = store.add(rng.random(2), 0.1, _record(0))
+        m = store.new_membership()
+        m.add(row)
+        m.discard(row)
+        with pytest.raises(ValidationError):
+            store.new_membership().add(row)
+
+    def test_integrity_after_random_ops(self, rng):
+        store = LevelStore(3)
+        memberships = [store.new_membership() for __ in range(4)]
+        rows = _populate(store, 40, 3, rng)
+        for row in rows:
+            for m in memberships:
+                if rng.random() < 0.5:
+                    m.add(row)
+        for m in memberships:
+            held = list(m.rows())
+            for row in held:
+                if rng.random() < 0.3:
+                    m.discard(int(row))
+        store.verify_integrity()
+
+
+class TestCompaction:
+    def _store_with_tombstones(self, rng, n=40, doomed=20):
+        store = LevelStore(3, compact_min_tombstones=1, compact_fraction=0.1)
+        m = store.new_membership()
+        rows = _populate(store, n, 3, rng)
+        for row in rows:
+            m.add(row)
+        survivors = {
+            store.entry_id_of(r): np.array(store.key_of(r))
+            for r in rows[doomed:]
+        }
+        m.discard_many(np.asarray(rows[:doomed], dtype=np.int64))
+        return store, m, survivors
+
+    def test_compact_rewrites_densely(self, rng):
+        store, m, survivors = self._store_with_tombstones(rng)
+        assert store.needs_compaction()
+        compactions_before = store.compactions
+        assert store.maybe_compact() is True
+        assert store.compactions == compactions_before + 1
+        assert store.n_tombstones == 0
+        assert store.n_live == len(survivors)
+        store.verify_integrity()
+
+    def test_compact_remaps_memberships_and_ids(self, rng):
+        store, m, survivors = self._store_with_tombstones(rng)
+        store.compact()
+        assert len(m) == len(survivors)
+        for row in m.rows():
+            entry_id = store.entry_id_of(int(row))
+            assert entry_id in survivors
+            assert np.allclose(store.key_of(int(row)), survivors[entry_id])
+
+    def test_compact_preserves_scores(self, rng):
+        store, m, __ = self._store_with_tombstones(rng)
+        center = rng.random(3)
+        before = level_scores(store.candidate_set(m.rows()), center, 0.6)
+        store.compact()
+        after = level_scores(store.candidate_set(m.rows()), center, 0.6)
+        assert before == after
+
+    def test_no_compaction_below_threshold(self, rng):
+        store = LevelStore(2)  # default thresholds: 64 tombstones minimum
+        m = store.new_membership()
+        rows = _populate(store, 10, 2, rng)
+        for row in rows:
+            m.add(row)
+        m.discard(rows[0])
+        assert not store.needs_compaction()
+        assert store.maybe_compact() is False
+
+
+class TestCandidateSetStaleness:
+    def _candidates(self, rng, n=10):
+        store = LevelStore(3)
+        m = store.new_membership()
+        for row in _populate(store, n, 3, rng):
+            m.add(row)
+        return store, m, store.candidate_set(m.rows())
+
+    def test_fresh_set_scores(self, rng):
+        store, __, candidates = self._candidates(rng)
+        assert not candidates.is_stale()
+        scores = level_scores(candidates, rng.random(3), 0.8)
+        assert isinstance(scores, dict)
+
+    def test_mutation_staletes_outstanding_sets(self, rng):
+        store, m, candidates = self._candidates(rng)
+        store.add(rng.random(3), 0.1, _record(0))
+        assert candidates.is_stale()
+        with pytest.raises(StaleCandidateError):
+            candidates.columns()
+        with pytest.raises(StaleCandidateError):
+            list(candidates)
+
+    def test_withdrawal_staletes_outstanding_sets(self, rng):
+        store, m, candidates = self._candidates(rng)
+        m.discard(int(m.rows()[0]))
+        with pytest.raises(StaleCandidateError):
+            level_scores(candidates, rng.random(3), 0.8)
+
+    def test_columns_memoized_and_slice_path_consistent(self, rng):
+        store, m, candidates = self._candidates(rng, n=12)
+        # Contiguous rows: the zero-copy slice path.
+        keys, radii, items, peers, key_sq = candidates.columns()
+        assert keys.base is not None  # a view, not a copy
+        # Scattered rows: the fancy-index gather path.
+        scattered = store.candidate_set(m.rows()[::2])
+        k2 = scattered.columns()[0]
+        assert np.allclose(k2, keys[::2])
+        assert candidates.columns()[0] is keys  # memoized
+
+
+class TestSerializationRoundTrip:
+    def test_round_trip_preserves_entry_ids(self, rng, tmp_path):
+        store = LevelStore(4)
+        m = store.new_membership()
+        rows = _populate(store, 12, 4, rng)
+        for row in rows:
+            m.add(row)
+        # Tombstone a few rows so the snapshot skips them and the id
+        # allocator high-water mark exceeds the surviving ids.
+        m.discard_many(np.asarray(rows[:4], dtype=np.int64))
+        path = tmp_path / "store.json"
+        save_level_store(store, path)
+        restored = load_level_store(path)
+        assert restored.dimensionality == 4
+        assert restored.n_live == store.n_live
+        assert restored.next_entry_id >= store.next_entry_id
+        for row in rows[4:]:
+            entry_id = store.entry_id_of(row)
+            new_row = restored.row_of(entry_id)
+            assert np.allclose(restored.key_of(new_row), store.key_of(row))
+            assert restored.radius_of(new_row) == store.radius_of(row)
+            assert (
+                restored.value_of(new_row).peer_id
+                == store.value_of(row).peer_id
+            )
+        # New ids can never collide with restored (or tombstoned) ones.
+        fresh = restored.add(rng.random(4), 0.1, _record(9))
+        assert restored.entry_id_of(fresh) >= store.next_entry_id
+
+    def test_duplicate_entry_id_rejected(self, rng):
+        store = LevelStore(2)
+        row = store.add(rng.random(2), 0.1, _record(0))
+        with pytest.raises(ValidationError):
+            store.restore(
+                store.entry_id_of(row), rng.random(2), 0.1, _record(1)
+            )
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            level_store_from_dict({"store_format_version": 999})
+        with pytest.raises(ValidationError):
+            level_store_from_dict([1, 2, 3])
+
+    def test_dict_round_trip_equals_file_round_trip(self, rng):
+        store = LevelStore(2)
+        m = store.new_membership()
+        for row in _populate(store, 5, 2, rng):
+            m.add(row)
+        payload = level_store_to_dict(store)
+        restored = level_store_from_dict(payload)
+        assert restored.n_live == 5
+        assert list(restored.live_rows()) == list(range(5))
+
+
+class TestParityProperties:
+    """Store-backed filtering/scoring pinned to the scalar oracle."""
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_filter_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(2, 9))
+        n = int(rng.integers(1, 60))
+        store = LevelStore(d)
+        m = store.new_membership()
+        entries = []
+        for __ in range(n):
+            key = rng.random(d)
+            radius = float(rng.uniform(0.0, 0.6))
+            value = _record(int(rng.integers(6)))
+            m.add(store.add(key, radius, value))
+            entries.append(StoredEntry(key=key, radius=radius, value=value))
+        center = rng.random(d)
+        eps = float(rng.uniform(0.0, 1.2))
+        expected = [i for i, e in enumerate(entries)
+                    if e.intersects(center, eps)]
+        got = list(store.intersecting_rows(m.rows(), center, eps))
+        assert got == expected
+        mask = store.intersection_mask(center, eps)
+        assert list(m.rows_matching(mask)) == expected
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_candidate_scoring_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(2, 9))
+        n = int(rng.integers(1, 60))
+        store = LevelStore(d)
+        m = store.new_membership()
+        entries = []
+        for __ in range(n):
+            key = rng.random(d)
+            radius = float(rng.uniform(0.0, 0.6))
+            value = _record(int(rng.integers(6)), items=int(rng.integers(1, 40)))
+            m.add(store.add(key, radius, value))
+            entries.append(StoredEntry(key=key, radius=radius, value=value))
+        center = rng.random(d)
+        eps = float(rng.uniform(0.0, 1.2))
+        batch_stats: dict = {}
+        scalar_stats: dict = {}
+        candidates = store.candidate_set(m.rows())
+        assert isinstance(candidates, CandidateSet)
+        batch = level_scores(candidates, center, eps, stats=batch_stats)
+        scalar = level_scores_scalar(
+            entries, center, eps, stats=scalar_stats
+        )
+        assert batch_stats == scalar_stats
+        assert set(batch) == set(scalar)
+        for peer, truth in scalar.items():
+            assert batch[peer] == pytest.approx(truth, rel=1e-9)

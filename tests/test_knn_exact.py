@@ -1,7 +1,6 @@
 """Tests for the exact k-NN refinement (extension beyond the paper)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Unit tests for the k-NN heuristic's internal machinery."""
 
 import numpy as np
-import pytest
 
 from repro.core.knn import _discover_level, _peers_to_contact
 from repro.core.results import ClusterRecord
@@ -59,7 +58,7 @@ class TestDiscoverLevel:
         eps, entries, hops = _discover_level(
             can, ids[0], np.array([0.5, 0.5]), 5.0
         )
-        assert entries == []
+        assert len(entries) == 0
 
     def test_probes_expand_until_coverage(self):
         # A single far-away cluster: discovery must expand to reach it.

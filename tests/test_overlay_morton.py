@@ -1,7 +1,6 @@
 """Direct tests for the shared Morton-overlay machinery."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -78,14 +77,30 @@ class TestCoveringIntervals:
 
 
 class TestMortonNode:
-    def test_absorb_dedupes_shared_objects(self):
-        from repro.overlay.base import StoredEntry
+    def test_absorb_dedupes_shared_rows(self):
+        from repro.index import LevelStore
 
+        store = LevelStore(1)
         node = MortonNode(1)
-        entry = StoredEntry(key=np.array([0.5]), radius=0.0, value="x")
-        node.add_entry(entry)
-        node.absorb_entries([entry, entry])
+        node.attach_store(store)
+        row = store.add(np.array([0.5]), 0.0, "x")
+        node.add_row(row)
+        assert node.absorb_rows([row, row]) == 0  # already held: no dupes
         assert node.load == 1
+
+    def test_replicated_row_held_once_per_node(self):
+        from repro.index import LevelStore
+
+        store = LevelStore(1)
+        a, b = MortonNode(1), MortonNode(2)
+        a.attach_store(store)
+        b.attach_store(store)
+        row = store.add(np.array([0.5]), 0.1, "x")
+        a.add_row(row)
+        b.add_row(row)
+        assert a.load == b.load == 1
+        assert store.n_live == 1  # one row, two memberships — no copies
+        assert a.store[0].entry_id == b.store[0].entry_id
 
     def test_drop_entries(self):
         from repro.overlay.base import StoredEntry

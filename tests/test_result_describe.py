@@ -1,6 +1,5 @@
 """Tests for the query-explanation (``describe``) API."""
 
-import numpy as np
 
 
 class TestDescribe:

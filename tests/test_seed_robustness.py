@@ -5,7 +5,6 @@ verify the two headline shapes are not seed artefacts by sweeping seeds
 at small scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.evaluation.dissemination import run_fig8b

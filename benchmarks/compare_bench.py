@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark report against the committed baseline.
+
+The microbenchmarks (``benchmarks/scoring_microbench.py``) emit JSON
+reports whose headline numbers are *speedups* — ratios of the seed
+implementation's time to the optimised path's time on the same machine.
+Ratios are what make cross-machine comparison meaningful: CI runners are
+slower than the laptops that produced the committed baselines, but both
+measure the same relative win, so a shrinking ratio is a genuine code
+regression rather than runner noise.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_scoring.json \
+        fresh_BENCH_scoring.json --max-regression 0.20
+
+Exits non-zero when any compared speedup field in the fresh report is
+more than ``--max-regression`` (default 20%) below the baseline. Fields
+present in only one of the two reports are skipped with a note (new
+benchmarks don't fail old baselines and vice versa).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Headline ratio fields compared when present in both reports.
+SPEEDUP_FIELDS = ("speedup", "list_speedup")
+
+
+def compare(
+    baseline: dict, fresh: dict, *, max_regression: float
+) -> list[str]:
+    """Return a list of failure messages (empty means the gate passes)."""
+    failures: list[str] = []
+    compared = 0
+    for field in SPEEDUP_FIELDS:
+        if field not in baseline and field not in fresh:
+            continue
+        if field not in baseline or field not in fresh:
+            print(f"note: {field!r} present in only one report; skipped")
+            continue
+        base = float(baseline[field])
+        new = float(fresh[field])
+        if base <= 0:
+            print(f"note: baseline {field!r} is {base}; skipped")
+            continue
+        compared += 1
+        change = (new - base) / base
+        status = "OK" if change >= -max_regression else "REGRESSION"
+        print(
+            f"{field}: baseline {base:.2f}x -> fresh {new:.2f}x "
+            f"({change:+.1%}) [{status}]"
+        )
+        if change < -max_regression:
+            failures.append(
+                f"{field} regressed {-change:.1%} "
+                f"(limit {max_regression:.0%}): "
+                f"{base:.2f}x -> {new:.2f}x"
+            )
+    if compared == 0:
+        failures.append(
+            "no speedup fields were comparable between the two reports"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON report")
+    parser.add_argument("fresh", help="freshly generated JSON report")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional speedup drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    name = baseline.get("benchmark", args.baseline)
+    print(f"bench-regression gate: {name}")
+    failures = compare(
+        baseline, fresh, max_regression=args.max_regression
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

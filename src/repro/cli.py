@@ -9,6 +9,8 @@ Usage::
     python -m repro trace fig8b --out trace.jsonl
     python -m repro profile fig8b --scale quick
     python -m repro profile fig8b --json
+    python -m repro faults --loss 0 0.1 0.2 --crash-fraction 0.2
+    python -m repro fig10a --fault-plan loss=0.1,seed=3
     python -m repro all
 
 Each experiment prints the same series its benchmark target produces.
@@ -17,7 +19,9 @@ parameters proportioned like the paper's own setups (minutes).
 ``--json`` dumps the series plus an observability metrics snapshot as
 machine-readable JSON. ``trace`` records the experiment's span tree to
 JSONL; ``profile`` prints the per-phase time/hops/bytes breakdown (see
-``docs/observability.md``).
+``docs/observability.md``). ``faults`` sweeps range-query recall across
+message-loss rates, and ``--fault-plan`` runs *any* experiment on a
+lossy fabric (see ``docs/faults.md``).
 """
 
 from __future__ import annotations
@@ -47,6 +51,8 @@ from repro.evaluation.reporting import (
     rows_to_table,
     series_to_table,
 )
+from repro.evaluation.resilience import run_fault_recall
+from repro.faults import parse_fault_plan, plan_scope
 from repro.obs import TraceRecorder, tracing
 from repro.obs.profile import (
     flame_summary,
@@ -259,6 +265,33 @@ def _build_fig11(args) -> ExperimentOutput:
     )
 
 
+def _build_faults(args) -> ExperimentOutput:
+    loss_rates = tuple(
+        getattr(args, "loss", None) or (0.0, 0.05, 0.10, 0.20)
+    )
+    rows = run_fault_recall(**_filter_kwargs(run_fault_recall, _common(
+        args,
+        loss_rates=loss_rates,
+        crash_fraction=getattr(args, "crash_fraction", 0.0),
+        max_peers=getattr(args, "max_peers", None),
+        fault_seed=getattr(args, "fault_seed", 0),
+    )))
+    text = rows_to_table(
+        rows, title="Resilience — range recall vs message-loss rate"
+    )
+    if args.plot:
+        text += "\n\n" + line_chart(
+            {
+                "recall (reachable)": [r.recall_mean for r in rows],
+                "recall (raw)": [r.raw_recall_mean for r in rows],
+                "confidence": [r.confidence_mean for r in rows],
+            },
+            x_labels=[r.loss for r in rows],
+            title="recall/confidence vs loss rate",
+        )
+    return ExperimentOutput("faults", _records(rows), text)
+
+
 def _build_construction(args) -> ExperimentOutput:
     from repro.evaluation.construction import run_construction_comparison
 
@@ -307,6 +340,10 @@ _COMMANDS = {
         _build_construction,
         "construction time, Hyper-M vs per-item CAN",
     ),
+    "faults": (
+        _build_faults,
+        "resilience: range recall under message loss and peer crashes",
+    ),
 }
 
 
@@ -329,6 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
     for name, (__, help_text) in _COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         _add_common_args(cmd)
+        if name == "faults":
+            _add_fault_args(cmd)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -374,6 +413,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loss", type=float, nargs="+", default=None, metavar="P",
+        help="message-loss rates to sweep (default: 0 0.05 0.1 0.2)",
+    )
+    parser.add_argument(
+        "--crash-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of peers crashed abruptly (no overlay cleanup)",
+    )
+    parser.add_argument(
+        "--max-peers", type=int, default=None, metavar="N",
+        help="contact budget per query (default: every positive-score peer)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the injector's private RNG (row index is added)",
+    )
+
+
 def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -396,6 +454,14 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         "--json",
         action="store_true",
         help="emit machine-readable JSON (series + metrics snapshot)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="run the experiment on a lossy fabric: a FaultPlan spec like "
+        "'loss=0.1,delay=0.005,dup=0.01,seed=3' applied to every network "
+        "the command builds (see docs/faults.md)",
     )
 
 
@@ -546,6 +612,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'profile':14s} per-phase time/hops/bytes for one experiment")
         print(f"{'stats':14s} network + level-store health for a built network")
         return 0
+    spec = getattr(args, "fault_plan", None)
+    if spec:
+        # Ambient fault plan: every Network the command builds installs
+        # a fresh injector from it (see repro.faults.plan_scope).
+        with plan_scope(parse_fault_plan(spec)):
+            return _dispatch(args)
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "profile":

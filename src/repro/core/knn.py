@@ -30,8 +30,8 @@ from repro.clustering.spheres import ClusterSphere
 from repro.core.queries import (
     _default_origin,
     _query_keys,
-    charge_response,
     contact_peers,
+    send_response,
 )
 from repro.core.results import KnnResult, sort_items_by_distance
 from repro.core.scoring import aggregate_scores, level_scores, rank_peers
@@ -219,9 +219,13 @@ def knn_query(
                 supplied = network.peers[peer_id].nearest_items(
                     query, no_items
                 )
-                messages += charge_response(
+                delivered, response_messages = send_response(
                     network, origin, peer_id, len(supplied)
                 )
+                messages += response_messages
+                if not delivered:
+                    failed.append(peer_id)  # reply lost despite retries
+                    continue
                 items.extend(supplied)
             contact_span.set(
                 selected=len(selected),

@@ -153,24 +153,34 @@ class HyperMNetwork:
             self._overlay_node[(level, peer_id)] = node_id
         return peer
 
-    def remove_peer(
+    def depart(
         self, peer_id: int, *, withdraw_summaries: bool = False
     ) -> None:
-        """Handle a peer's departure (MANET churn).
+        """A peer's *graceful* departure (MANET churn, clean-only).
 
-        The peer's overlay nodes leave gracefully — their zones/arcs and
-        the index entries they stored are handed to remaining nodes, so
-        routing and index queries keep working. The peer itself goes
-        offline: direct retrieval from it fails and queries lose access to
-        its items.
+        This is always an orderly exit: the peer's overlay nodes leave
+        via the overlay's hand-off protocol — their zones/arcs and the
+        index entries they stored transfer to remaining nodes, so routing
+        and index queries keep working. The peer itself then goes
+        offline: direct retrieval from it fails and queries lose access
+        to its items.
+
+        This method never models an *abrupt* failure (battery death,
+        radio silence, walking out of range). A crashed device cannot
+        run a hand-off protocol; that case is modelled exclusively by
+        :func:`repro.faults.resilience.crash_peer`, which flips the peer
+        offline *without* any overlay cleanup and leaves its zones and
+        stored entries dangling for the resilience machinery (retries,
+        failure detection, tombstoning) to cope with.
 
         Parameters
         ----------
         withdraw_summaries:
-            When true, the peer's own published cluster summaries are also
-            dropped from every overlay (a *clean* departure); the default
-            leaves them dangling (an *abrupt* departure — the realistic
-            MANET case), so queries may waste contact attempts on it.
+            When true, the peer's own published cluster summaries are
+            also dropped from every overlay before it leaves (the peer
+            says goodbye properly); the default leaves them dangling —
+            even a graceful departure may not bother unpublishing — so
+            queries may waste contact attempts on it.
         """
         peer = self.peers.get(peer_id)
         if peer is None:
@@ -183,6 +193,12 @@ class HyperMNetwork:
                 overlay.leave(node_id)
         if withdraw_summaries:
             self.withdraw_summaries(peer_id)
+
+    def remove_peer(
+        self, peer_id: int, *, withdraw_summaries: bool = False
+    ) -> None:
+        """Backwards-compatible alias for :meth:`depart` (clean-only)."""
+        self.depart(peer_id, withdraw_summaries=withdraw_summaries)
 
     def withdraw_summaries(self, peer_id: int, *, charge: bool = False) -> int:
         """Drop every published cluster record of ``peer_id``; returns the

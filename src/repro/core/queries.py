@@ -19,8 +19,14 @@ from functools import lru_cache
 import numpy as np
 
 from repro.core.results import RangeQueryResult, sort_items_by_distance
-from repro.core.scoring import aggregate_scores, level_scores, rank_peers
+from repro.core.scoring import (
+    aggregate_scores,
+    level_scores,
+    partial_confidence,
+    rank_peers,
+)
 from repro.exceptions import EmptyNetworkError, QueryError
+from repro.faults.resilience import reliable_send, tombstone_peer
 from repro.net.messages import MessageKind, vector_message_size
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
@@ -69,6 +75,32 @@ def _default_origin(network) -> int:
     raise EmptyNetworkError("network has no online peers")
 
 
+def _level_query_with_retries(overlay, origin_node, key, radius, injector):
+    """One level's overlay range query under a fault injector.
+
+    The overlay walk itself is synchronous; what loss can claim is the
+    aggregated reply flowing back to the querier. Each lost reply costs a
+    timeout, a capped-backoff wait, and a full re-query (hops re-charged)
+    until the retry budget runs out. Returns ``(receipt_or_None, hops,
+    attempts)`` — ``None`` means the level went unanswered and the query
+    must degrade.
+    """
+    policy = injector.plan.retry
+    hops = 0
+    for attempt in range(1, policy.max_attempts + 1):
+        wait = policy.wait_before_attempt(attempt)
+        if wait > 0.0:
+            injector.count("retries")
+            scheduler = overlay.fabric.scheduler
+            scheduler.run_until(scheduler.now + wait)
+        receipt = overlay.range_query(origin_node, key, radius)
+        hops += receipt.total_hops
+        if not injector.index_response_lost():
+            return receipt, hops, attempt
+        injector.count("timeouts")
+    return None, hops, policy.max_attempts
+
+
 def index_phase(
     network,
     query: np.ndarray,
@@ -76,13 +108,24 @@ def index_phase(
     *,
     origin_peer: int,
     aggregation: str | None = None,
+    info: dict | None = None,
 ) -> tuple[dict[int, float], int]:
-    """Run the index phase; returns (aggregated peer scores, index hops)."""
+    """Run the index phase; returns (aggregated peer scores, index hops).
+
+    ``info``, when given, is filled with the degradation accounting the
+    fault-aware callers need: ``levels_total``, ``levels_answered`` (a
+    level goes unanswered when its index reply is lost despite retries),
+    and ``index_attempts``. On a clean fabric every level answers on the
+    first attempt and the behaviour is identical to the pre-fault code.
+    """
     recorder = obs_trace.state.recorder
+    injector = getattr(network.fabric, "faults", None)
     with recorder.span("translate", levels=len(network.levels)):
         keys = _query_keys(network, query)
     per_level: dict = {}
     hops = 0
+    levels_answered = 0
+    index_attempts = 0
     for level in network.levels:
         overlay = network.overlays[level]
         origin_node = network.overlay_node(level, origin_peer)
@@ -91,8 +134,24 @@ def index_phase(
         with recorder.span(
             f"sphere_filter[{level}]", level=str(level)
         ) as span:
-            receipt = overlay.range_query(origin_node, keys[level], radius)
-            hops += receipt.total_hops
+            if injector is None or injector.passthrough:
+                receipt = overlay.range_query(
+                    origin_node, keys[level], radius
+                )
+                level_hops, attempts = receipt.total_hops, 1
+            else:
+                receipt, level_hops, attempts = _level_query_with_retries(
+                    overlay, origin_node, keys[level], radius, injector
+                )
+            hops += level_hops
+            index_attempts += attempts
+            if receipt is None:
+                # Level reply lost despite retries: score without it.
+                # Min-aggregation over fewer levels only *admits* extra
+                # candidates (Theorem 4.1 direction stays safe).
+                span.set(radius=radius, unanswered=True, attempts=attempts)
+                continue
+            levels_answered += 1
             stats: dict = {}
             per_level[level] = level_scores(
                 receipt.entries, keys[level], radius, stats=stats
@@ -106,6 +165,10 @@ def index_phase(
                 routing_hops=receipt.routing_hops,
                 flood_hops=receipt.flood_hops,
             )
+    if info is not None:
+        info["levels_total"] = len(network.levels)
+        info["levels_answered"] = levels_answered
+        info["index_attempts"] = index_attempts
     policy = aggregation or network.config.aggregation
     with recorder.span("score", policy=policy) as span:
         aggregated = aggregate_scores(per_level, policy=policy)
@@ -143,7 +206,15 @@ def contact_peers(
     querier learns of the failure only after the request times out — but
     return nothing. Response traffic is charged separately, sized by the
     items actually returned (:func:`charge_response`).
+
+    Under a fault injector each request goes through
+    :func:`repro.faults.resilience.reliable_send` (timeout, capped
+    backoff, retry budget), failures feed the injector's failure
+    detector, and peers past the consecutive-failure threshold get their
+    dangling spheres tombstoned out of the index
+    (:func:`repro.faults.resilience.tombstone_peer`).
     """
+    injector = getattr(network.fabric, "faults", None)
     attempts = [peer_id for peer_id, __ in ranked]
     if max_peers is not None:
         attempts = attempts[:max_peers]
@@ -156,14 +227,33 @@ def contact_peers(
     for peer_id in attempts:
         target_node = network.overlay_node(level0, peer_id)
         if target_node != origin_node:
-            network.fabric.transmit(
-                origin_node, target_node, MessageKind.RETRIEVE, request_size
-            )
-            messages += 1
+            if injector is None:
+                network.fabric.transmit(
+                    origin_node, target_node,
+                    MessageKind.RETRIEVE, request_size,
+                )
+                messages += 1
+            else:
+                outcome = reliable_send(
+                    network.fabric, origin_node, target_node,
+                    MessageKind.RETRIEVE, request_size,
+                )
+                messages += outcome.attempts
+                if not outcome.delivered:
+                    failed.append(peer_id)  # request never got through
+                    injector.note_contact_failure(peer_id)
+                    continue
         if not network.peers[peer_id].online:
             failed.append(peer_id)  # request lost to a departed device
+            if injector is not None:
+                injector.note_contact_failure(peer_id)
             continue
         reached.append(peer_id)
+        if injector is not None:
+            injector.note_contact_success(peer_id)
+    if injector is not None:
+        for suspect in injector.drain_suspects():
+            tombstone_peer(network, suspect)
     return reached, messages, failed
 
 
@@ -184,6 +274,34 @@ def charge_response(network, origin_peer: int, peer_id: int, n_items: int) -> in
     )
     network.fabric.transmit(target_node, origin_node, MessageKind.DATA, size)
     return 1
+
+
+def send_response(
+    network, origin_peer: int, peer_id: int, n_items: int
+) -> tuple[bool, int]:
+    """Fault-aware :func:`charge_response`: ``(delivered, messages)``.
+
+    With no injector installed this is exactly one charged response
+    message (always delivered). With one, the responding peer retries per
+    the plan's :class:`~repro.faults.plan.RetryPolicy`; an undelivered
+    response means the querier never sees the items — the caller drops
+    them and degrades the query's confidence.
+    """
+    injector = getattr(network.fabric, "faults", None)
+    if injector is None:
+        return True, charge_response(network, origin_peer, peer_id, n_items)
+    level0 = network.levels[0]
+    origin_node = network.overlay_node(level0, origin_peer)
+    target_node = network.overlay_node(level0, peer_id)
+    if target_node == origin_node:
+        return True, 0
+    size = vector_message_size(
+        network.dimensionality * max(n_items, 0), scalars=2 * n_items
+    )
+    outcome = reliable_send(
+        network.fabric, target_node, origin_node, MessageKind.DATA, size
+    )
+    return outcome.delivered, outcome.attempts
 
 
 def range_query(
@@ -222,51 +340,78 @@ def range_query(
         raise QueryError(f"origin peer {origin} has left the network")
 
     recorder = obs_trace.state.recorder
+    injector = getattr(network.fabric, "faults", None)
+    fault_info: dict = {}
     with recorder.span(
         "query", type="range", epsilon=float(epsilon), origin=origin
     ) as query_span:
         aggregated, index_hops = index_phase(
             network, query, epsilon, origin_peer=origin,
-            aggregation=aggregation,
+            aggregation=aggregation, info=fault_info,
         )
         ranked = rank_peers(aggregated)
         items = []
+        answered: list[int] = []
         with recorder.span("contact_peers") as contact_span:
             contacted, messages, failed = contact_peers(
                 network, ranked, origin_peer=origin, max_peers=max_peers
             )
+            attempted = len(contacted) + len(failed)
             for peer_id in contacted:
                 found = network.peers[peer_id].range_search(query, epsilon)
-                messages += charge_response(
+                delivered, response_messages = send_response(
                     network, origin, peer_id, len(found)
                 )
+                messages += response_messages
+                if not delivered:
+                    # Request arrived, but the reply was lost despite
+                    # retries: the items never reach the querier.
+                    failed.append(peer_id)
+                    injector.note_contact_failure(peer_id)
+                    continue
+                answered.append(peer_id)
                 items.extend(found)
             contact_span.set(
                 ranked=len(ranked),
-                reached=len(contacted),
+                reached=len(answered),
                 failed=len(failed),
                 messages=messages,
                 items=len(items),
             )
+        confidence = partial_confidence(
+            fault_info.get("levels_answered", len(network.levels)),
+            fault_info.get("levels_total", len(network.levels)),
+            len(answered),
+            attempted,
+        )
+        degraded = confidence < 1.0
         query_span.set(
             index_hops=index_hops,
             items=len(items),
-            peers_contacted=len(contacted),
+            peers_contacted=len(answered),
         )
     metrics = obs_registry.metrics()
     metrics.counter("query.range.count").inc()
     metrics.counter("query.range.items").inc(len(items))
     metrics.counter("query.range.failed_contacts").inc(len(failed))
     metrics.histogram("query.range.index_hops").observe(index_hops)
-    metrics.histogram("query.range.peers_contacted").observe(len(contacted))
+    metrics.histogram("query.range.peers_contacted").observe(len(answered))
     metrics.histogram("query.range.retrieval_messages").observe(messages)
+    if injector is not None and not injector.passthrough:
+        # Fault-only telemetry: recorded solely when faults can actually
+        # fire, so null-plan metric snapshots stay byte-identical.
+        metrics.histogram("query.range.confidence").observe(confidence)
+        if degraded:
+            metrics.counter("query.range.degraded").inc()
     return RangeQueryResult(
         items=sort_items_by_distance(items),
         peer_scores=aggregated,
-        peers_contacted=contacted,
+        peers_contacted=answered,
         failed_contacts=failed,
         index_hops=index_hops,
         retrieval_messages=messages,
+        confidence=confidence,
+        degraded=degraded,
     )
 
 

@@ -43,6 +43,14 @@ class RangeQueryResult:
     ``items`` are exact matches retrieved from the contacted peers (the
     paper's precision is 100% by construction: peers filter locally with
     the original query). Recall depends on which peers were contacted.
+
+    Under an installed fault plan the query *degrades* instead of
+    raising: ``confidence`` is the answered fraction of the evidence the
+    query wanted — ``(levels answered / levels published) × (peers
+    answered / peers attempted)`` — and ``degraded`` flags any query that
+    lost index levels or peer responses despite retries. On clean
+    fabrics both keep their defaults (1.0 / False) and results are
+    bit-identical to the pre-fault code.
     """
 
     items: list = field(default_factory=list)
@@ -51,6 +59,8 @@ class RangeQueryResult:
     failed_contacts: list = field(default_factory=list)
     index_hops: int = 0
     retrieval_messages: int = 0
+    confidence: float = 1.0
+    degraded: bool = False
 
     @property
     def item_ids(self) -> set:
@@ -63,8 +73,13 @@ class RangeQueryResult:
         Shows the top-scoring peers, which were contacted/failed, and the
         retrieval outcome — the first place to look when recall surprises.
         """
+        extra = []
+        if self.degraded:
+            extra.append(
+                f"DEGRADED under faults: confidence {self.confidence:.2f}"
+            )
         return _describe_query(
-            "range query", self, top=top, extra_lines=[]
+            "range query", self, top=top, extra_lines=extra
         )
 
 

@@ -231,3 +231,37 @@ def aggregate_scores(
 def rank_peers(aggregated: dict[int, float]) -> list[tuple[int, float]]:
     """Peers by descending score (ties broken by peer id for determinism)."""
     return sorted(aggregated.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def partial_confidence(
+    levels_answered: int,
+    levels_total: int,
+    peers_answered: int,
+    peers_attempted: int,
+) -> float:
+    """Confidence fraction of a partially-answered query (fault contract).
+
+    Under message loss a query no longer gets all the evidence it asked
+    for; instead of raising, the query pipeline scores what arrived and
+    reports ``confidence = (levels_answered / levels_total) *
+    (peers_answered / peers_attempted)`` — 1.0 exactly when nothing was
+    lost. A denominator of zero contributes 1.0 (nothing was attempted,
+    so nothing was missed).
+
+    Losing index levels keeps the Theorem 4.1 direction of error safe:
+    min-aggregation over *fewer* levels can only admit extra candidate
+    peers, never prune a true answer's peer. Losing peer responses is
+    the lossy part — recall degrades in proportion, which is what the
+    resilience evaluation scenario measures.
+    """
+    if levels_answered > levels_total or peers_answered > peers_attempted:
+        raise ValidationError(
+            "answered counts cannot exceed attempted counts"
+        )
+    level_frac = (
+        levels_answered / levels_total if levels_total > 0 else 1.0
+    )
+    peer_frac = (
+        peers_answered / peers_attempted if peers_attempted > 0 else 1.0
+    )
+    return float(level_frac * peer_frac)

@@ -11,6 +11,8 @@ Modules
 * :mod:`repro.evaluation.effectiveness` — §6 retrieval experiments
   (Figures 10a, 10b, 10c and the C-knob table).
 * :mod:`repro.evaluation.quality` — the Figure 11 clustering-quality study.
+* :mod:`repro.evaluation.resilience` — recall under message loss and
+  abrupt peer crashes (the :mod:`repro.faults` evaluation scenario).
 * :mod:`repro.evaluation.reporting` — paper-style series/table rendering.
 """
 
@@ -20,6 +22,7 @@ from repro.evaluation.metrics import (
     gini_coefficient,
     precision_recall,
 )
+from repro.evaluation.resilience import FaultRecallRow, run_fault_recall
 from repro.evaluation.workloads import (
     HistogramWorkload,
     MarkovWorkload,
@@ -38,4 +41,6 @@ __all__ = [
     "build_histogram_network",
     "build_markov_network",
     "sample_queries",
+    "FaultRecallRow",
+    "run_fault_recall",
 ]

@@ -1,0 +1,179 @@
+"""Resilience evaluation: range-query recall under loss and crashes.
+
+The fault-injection layer (:mod:`repro.faults`) makes the fabric lossy;
+this scenario measures what that costs. For each loss rate the same
+network (same build seed) is rebuilt, a :class:`~repro.faults.plan.FaultPlan`
+is installed, optionally a fraction of peers is crashed *abruptly* (no
+overlay cleanup — their zones and published spheres dangle), and a batch
+of range queries runs with retries/degradation active.
+
+Two recalls are reported per row:
+
+* ``recall`` — against the *reachable* ground truth (truth items held by
+  peers still online). This isolates what the fault machinery loses:
+  with retries working, loss ≤ 10% should keep it ≥ 0.95 (the CI gate).
+* ``raw_recall`` — against the full ground truth, crashed peers' items
+  included. The gap between the two is exactly the data that left the
+  network with the crashed devices; no protocol can recover it.
+
+Everything is deterministic: the build/query seeds derive once from
+``rng`` and are reused across loss rates, and each fault plan's injector
+seeds its own private RNG from ``fault_seed`` plus the row index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import HyperMConfig
+from repro.evaluation.metrics import precision_recall
+from repro.evaluation.workloads import build_histogram_network, sample_queries
+from repro.faults import FaultPlan, crash_peer
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class FaultRecallRow:
+    """Recall/confidence summary for one (loss rate, crash fraction) cell."""
+
+    loss: float
+    crash_fraction: float
+    peers_crashed: int
+    queries: int
+    recall_mean: float
+    recall_min: float
+    raw_recall_mean: float
+    confidence_mean: float
+    degraded_queries: int
+    drops: int
+    retries: int
+    timeouts: int
+    tombstoned_entries: int
+
+
+def _reachable(truth: set, network, owner: dict[int, int]) -> set:
+    """Truth items still held by an online peer."""
+    return {
+        item_id
+        for item_id in truth
+        if network.peers[owner[item_id]].online
+    }
+
+
+def run_fault_recall(
+    *,
+    n_peers: int = 16,
+    n_objects: int = 48,
+    views_per_object: int = 10,
+    n_bins: int = 32,
+    n_clusters: int = 6,
+    levels_used: int = 3,
+    loss_rates: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20),
+    crash_fraction: float = 0.0,
+    radii: tuple[float, ...] = (0.12, 0.16),
+    n_queries: int = 8,
+    max_peers: int = 8,
+    rng=None,
+    fault_seed: int = 0,
+) -> list[FaultRecallRow]:
+    """Range recall vs message-loss rate (optionally with abrupt crashes).
+
+    Returns one :class:`FaultRecallRow` per loss rate. The network is
+    rebuilt identically for every row (same derived build seed), so rows
+    differ only in the installed fault plan — the clean row
+    (``loss=0, crash_fraction=0``) doubles as the bit-identity baseline.
+    """
+    generator = ensure_rng(rng)
+    build_seed = int(generator.integers(0, 2**32))
+    query_seed = int(generator.integers(0, 2**32))
+    config = HyperMConfig(levels_used=levels_used, n_clusters=n_clusters)
+
+    rows: list[FaultRecallRow] = []
+    for row_index, loss in enumerate(loss_rates):
+        workload = build_histogram_network(
+            n_peers=n_peers,
+            n_objects=n_objects,
+            views_per_object=views_per_object,
+            n_bins=n_bins,
+            config=config,
+            rng=np.random.default_rng(build_seed),
+        )
+        network = workload.network
+        owner = {
+            int(item_id): peer_id
+            for peer_id, peer in network.peers.items()
+            for item_id in peer.item_ids
+        }
+        queries = sample_queries(
+            workload.ground_truth.data,
+            n_queries,
+            rng=np.random.default_rng(query_seed),
+        )
+
+        plan = FaultPlan(
+            loss=loss,
+            crash_fraction=crash_fraction,
+            seed=fault_seed + row_index,
+        )
+        injector = network.fabric.install_faults(plan)
+
+        origin = next(iter(network.peers))
+        n_crash = int(round(crash_fraction * n_peers))
+        victims = [p for p in sorted(network.peers) if p != origin][:n_crash]
+        for victim in victims:
+            crash_peer(network, victim)
+
+        recalls: list[float] = []
+        raw_recalls: list[float] = []
+        confidences: list[float] = []
+        degraded = 0
+        total = 0
+        for query in queries:
+            for radius in radii:
+                truth = workload.ground_truth.range_search(query, radius)
+                if not truth:
+                    continue
+                reachable = _reachable(truth, network, owner)
+                result = network.range_query(
+                    query, radius, max_peers=max_peers, origin_peer=origin
+                )
+                total += 1
+                if reachable:
+                    recalls.append(
+                        precision_recall(result.item_ids, reachable).recall
+                    )
+                raw_recalls.append(
+                    precision_recall(result.item_ids, truth).recall
+                )
+                confidences.append(result.confidence)
+                if result.degraded:
+                    degraded += 1
+
+        counters = injector.snapshot()["counters"]
+        recall_arr = np.asarray(recalls or [0.0], dtype=np.float64)
+        rows.append(
+            FaultRecallRow(
+                loss=loss,
+                crash_fraction=crash_fraction,
+                peers_crashed=len(victims),
+                queries=total,
+                recall_mean=float(recall_arr.mean()),
+                recall_min=float(recall_arr.min()),
+                raw_recall_mean=float(
+                    np.mean(raw_recalls) if raw_recalls else 0.0
+                ),
+                confidence_mean=float(
+                    np.mean(confidences) if confidences else 1.0
+                ),
+                degraded_queries=degraded,
+                drops=int(counters.get("drops", 0)),
+                retries=int(counters.get("retries", 0)),
+                timeouts=int(counters.get("timeouts", 0)),
+                tombstoned_entries=int(
+                    counters.get("tombstoned_entries", 0)
+                ),
+            )
+        )
+    return rows

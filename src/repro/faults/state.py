@@ -1,0 +1,39 @@
+"""Ambient fault-plan state (mirrors :mod:`repro.obs.trace`'s pattern).
+
+``--fault-plan`` on the CLI must reach networks built deep inside
+experiment runners without threading a parameter through every signature.
+The runners wrap their work in :func:`plan_scope`;
+:class:`repro.net.network.Network` consults :func:`active_plan` at
+construction time and installs a fresh injector when a plan is active.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.faults.plan import FaultPlan
+
+_active: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan new fabrics should install (``None`` = no faults)."""
+    return _active
+
+
+def set_active_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` as the ambient plan; returns the previous one."""
+    global _active
+    previous = _active
+    _active = plan
+    return previous
+
+
+@contextmanager
+def plan_scope(plan: FaultPlan | None):
+    """Make ``plan`` ambient for the duration of the block."""
+    previous = set_active_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_active_plan(previous)

@@ -534,6 +534,24 @@ class LevelStore:
             self._tombstone(row)
         return True
 
+    def remove_peer_entries(self, peer_id: int) -> int:
+        """Tombstone every live entry published by ``peer_id``.
+
+        One vectorized peer-id column scan finds the doomed rows, each is
+        dropped from every registered membership (all replicas at once),
+        and the store compacts if the tombstone threshold is passed.
+        The resilience layer uses this to reap the dangling spheres of a
+        crashed peer (:func:`repro.faults.resilience.tombstone_peer`);
+        returns the number of entries removed.
+        """
+        rows = self.rows_for_peer(peer_id)
+        if rows.size == 0:
+            return 0
+        entry_ids = [int(self._entry_ids[row]) for row in rows]
+        removed = sum(1 for eid in entry_ids if self.remove_entry(eid))
+        self.maybe_compact()
+        return removed
+
     # -- compaction ----------------------------------------------------------
 
     def needs_compaction(self) -> bool:

@@ -48,6 +48,10 @@ class Message:
         Wire size; use :func:`vector_message_size` for key payloads.
     hops:
         Number of overlay hops traversed so far (updated per transmit).
+    delivered:
+        False when a fault injector severed the message end-to-end
+        (loss, partition, crashed endpoint); always True on clean
+        fabrics. Query-plane callers must check it and retry or degrade.
     msg_id:
         Process-unique id for tracing.
     """
@@ -57,6 +61,7 @@ class Message:
     destination: int
     size_bytes: int
     hops: int = 0
+    delivered: bool = True
     msg_id: int = field(default_factory=lambda: next(_message_counter))
 
 

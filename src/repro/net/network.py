@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.exceptions import ValidationError
+from repro.faults import state as faults_state
+from repro.faults.injector import FaultInjector
 from repro.net.energy import EnergyLedger, EnergyModel
 from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
@@ -29,6 +31,11 @@ class Network:
         Radio cost model; defaults to the Bluetooth-class constants.
     hop_latency:
         Virtual seconds one overlay hop takes (used in scheduled mode).
+    fault_plan:
+        Optional :class:`repro.faults.plan.FaultPlan`; when given (or
+        when a plan is ambient via :func:`repro.faults.plan_scope`), a
+        fresh :class:`repro.faults.injector.FaultInjector` is installed
+        and every :meth:`transmit` passes through it.
     """
 
     def __init__(
@@ -36,6 +43,7 @@ class Network:
         *,
         energy_model: EnergyModel | None = None,
         hop_latency: float = 0.01,
+        fault_plan=None,
     ):
         if hop_latency < 0:
             raise ValidationError(f"hop_latency must be >= 0, got {hop_latency}")
@@ -44,6 +52,25 @@ class Network:
         self.metrics = NetworkMetrics()
         self.hop_latency = hop_latency
         self._nodes: dict[int, SimNode] = {}
+        self.faults = None
+        plan = fault_plan if fault_plan is not None else faults_state.active_plan()
+        if plan is not None:
+            self.install_faults(plan)
+
+    def install_faults(self, plan_or_injector):
+        """Install a fault injector (from a plan or prebuilt); returns it.
+
+        Passing ``None`` uninstalls fault injection, restoring the clean
+        fabric behaviour.
+        """
+        if plan_or_injector is None:
+            self.faults = None
+            return None
+        if isinstance(plan_or_injector, FaultInjector):
+            self.faults = plan_or_injector
+        else:
+            self.faults = FaultInjector(plan_or_injector)
+        return self.faults
 
     # -- membership ---------------------------------------------------------
 
@@ -84,6 +111,13 @@ class Network:
         Charges energy and metrics immediately. When ``deliver`` is given,
         the callback is scheduled ``hop_latency`` in the virtual future
         (event-driven mode); otherwise accounting-only (synchronous mode).
+
+        When a fault injector is installed every message passes through
+        it: query-plane messages may come back ``delivered=False`` (the
+        caller retries or degrades — see :mod:`repro.faults`), overlay
+        traffic is charged for link-layer retransmissions under loss, and
+        delivery callbacks pick up jitter/duplication. Without an
+        injector this path is exactly the clean-fabric code.
         """
         if source not in self._nodes:
             raise ValidationError(f"unknown source node {source}")
@@ -95,15 +129,32 @@ class Network:
             kind=kind, source=source, destination=destination,
             size_bytes=size_bytes, hops=1,
         )
-        self.energy.charge_hop(source, destination, size_bytes)
-        self.metrics.record_transmit(kind, size_bytes)
+        transmissions = 1
+        extra_delay = 0.0
+        copies = 1
+        if self.faults is not None:
+            verdict = self.faults.on_transmit(
+                kind, source, destination, self.scheduler.now
+            )
+            message.delivered = verdict.delivered
+            transmissions += verdict.retransmits
+            extra_delay = verdict.extra_delay
+            copies = verdict.copies
+        for __ in range(transmissions):
+            self.energy.charge_hop(source, destination, size_bytes)
+            self.metrics.record_transmit(kind, size_bytes)
         recorder = obs_trace.state.recorder
         if recorder.enabled:
-            recorder.add(messages=1, hops=1, bytes=size_bytes)
-        if deliver is not None:
-            self.scheduler.schedule_after(
-                self.hop_latency, lambda: deliver(message)
+            recorder.add(
+                messages=transmissions,
+                hops=transmissions,
+                bytes=size_bytes * transmissions,
             )
+        if deliver is not None and message.delivered:
+            for __ in range(copies):
+                self.scheduler.schedule_after(
+                    self.hop_latency + extra_delay, lambda: deliver(message)
+                )
         return message
 
     def finish_operation(self, kind: MessageKind, hops: int) -> None:
@@ -111,10 +162,18 @@ class Network:
         self.metrics.finish_operation(kind, hops)
 
     def snapshot(self) -> dict:
-        """Deterministic fabric-health summary (metrics, energy, events)."""
-        return {
+        """Deterministic fabric-health summary (metrics, energy, events).
+
+        The ``faults`` section appears only when an injector is
+        installed, so clean-fabric snapshots stay byte-identical to the
+        pre-fault code.
+        """
+        snapshot = {
             "metrics": self.metrics.snapshot(),
             "energy": self.energy.snapshot(),
             "events_processed": self.scheduler.events_processed,
             "nodes": len(self._nodes),
         }
+        if self.faults is not None:
+            snapshot["faults"] = self.faults.snapshot()
+        return snapshot

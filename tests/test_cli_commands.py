@@ -54,3 +54,40 @@ class TestCliCommands:
         assert main(["fig10c", "--peers", "8", "--plot"]) == 0
         out = capsys.readouterr().out
         assert "recall vs new-document fraction" in out
+
+
+@pytest.mark.slow
+class TestCliFaults:
+    def test_faults_sweep(self, capsys):
+        assert main([
+            "faults", "--peers", "8", "--loss", "0", "0.1", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience" in out
+        assert "recall_mean" in out
+
+    def test_faults_json(self, capsys):
+        import json
+
+        assert main([
+            "faults", "--peers", "8", "--loss", "0.1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "faults"
+        assert payload["records"][0]["loss"] == 0.1
+        assert 0.0 <= payload["records"][0]["recall_mean"] <= 1.0
+
+    def test_fault_plan_flag(self, capsys):
+        """--fault-plan makes any experiment run on a lossy fabric."""
+        assert main([
+            "fig10c", "--peers", "6",
+            "--fault-plan", "loss=0.1,seed=3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10c" in out
+
+    def test_fault_plan_rejects_bad_spec(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["fig9", "--peers", "6", "--fault-plan", "warp=9"])

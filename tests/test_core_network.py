@@ -132,3 +132,54 @@ class TestOverlayIndependence:
         assert report.items_published == 60
         result = net.range_query(rng.random(16), 0.5)
         assert result.peers_contacted
+
+
+class TestDepartureSemantics:
+    """depart() is the *clean-only* exit; crashes live in repro.faults."""
+
+    @pytest.fixture
+    def network(self, rng):
+        config = HyperMConfig(levels_used=3, n_clusters=3)
+        net = HyperMNetwork(16, config, rng=0)
+        for __ in range(5):
+            net.add_peer(rng.random((20, 16)))
+        net.publish_all()
+        return net
+
+    def test_depart_hands_off_zones(self, network):
+        counts = {
+            level: len(overlay.node_ids)
+            for level, overlay in network.overlays.items()
+        }
+        network.depart(2)
+        for level, overlay in network.overlays.items():
+            assert len(overlay.node_ids) == counts[level] - 1
+
+    def test_depart_keeps_index_routable(self, network, rng):
+        network.depart(1)
+        result = network.range_query(rng.random(16), 0.6)
+        online = {p for p, peer in network.peers.items() if peer.online}
+        assert set(result.peers_contacted) <= online
+
+    def test_remove_peer_is_depart_alias(self, network):
+        network.remove_peer(3)
+        assert not network.peers[3].online
+        for overlay in network.overlays.values():
+            # The alias stays clean: the zones were handed off.
+            assert len(overlay.node_ids) == network.n_peers - 1
+
+    def test_depart_never_leaves_crashed_nodes(self, network):
+        """Clean departure must not touch the fault injector's registry."""
+        from repro.faults import FaultPlan
+
+        injector = network.fabric.install_faults(FaultPlan())
+        network.depart(2)
+        assert injector.crashed_peers == set()
+        assert injector.crashed_nodes == set()
+
+    def test_abrupt_failure_requires_faults_module(self, network):
+        """There is no abrupt-departure flag here; crash_peer is the way."""
+        from repro.faults import crash_peer
+
+        with pytest.raises(ValidationError):
+            crash_peer(network, 2)

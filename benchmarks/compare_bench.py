@@ -27,7 +27,7 @@ import json
 import sys
 
 #: Headline ratio fields compared when present in both reports.
-SPEEDUP_FIELDS = ("speedup", "list_speedup")
+SPEEDUP_FIELDS = ("speedup", "list_speedup", "bytes_speedup", "hops_speedup")
 
 
 def compare(

@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Delta republish vs full republish after a 10% corpus mutation.
+
+Two identical Hyper-M networks receive the same mutation: every peer
+gains 10% new items, arriving the way the paper's ALOI workload does —
+as tight bursts of views of a few new objects (jittered copies of rows
+the peer already holds). One network repairs its summaries with the
+epoch-delta pipeline (``republish_peer(pid)``), the other withdraws and
+republishes from scratch (``republish_peer(pid, full=True)``).
+
+Correctness is verified before any timing is reported: after both
+repairs, unbudgeted range queries on either network must return exactly
+the ground-truth result set (Theorem 4.1 no-false-dismissal — recall
+1.0), and the delta network's level stores must still pass their
+integrity checks.
+
+The headline numbers are ratios (robust across machines, like the other
+microbench reports):
+
+* ``speedup`` — full wall-clock time / delta wall-clock time (gate: >= 5x);
+* ``bytes_speedup`` — full bytes sent / delta bytes sent (gate: delta
+  sends <= 20% of full, i.e. ratio >= 5x);
+* ``hops_speedup`` — full routing hops / delta routing hops (same gate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/test_publish_delta.py
+    PYTHONPATH=src python benchmarks/test_publish_delta.py \
+        --min-speedup 5 --max-traffic-fraction 0.2 \
+        --out BENCH_publish_delta.json
+
+or under pytest (same gates, table saved to ``benchmarks/results``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_publish_delta.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.baselines import CentralizedIndex
+from repro.core.network import HyperMConfig, HyperMNetwork
+from repro.evaluation.workloads import build_markov_network
+
+DEFAULTS = {
+    "n_peers": 16,
+    "items_per_peer": 500,
+    "dimensionality": 256,
+    "n_clusters": 12,
+    "levels_used": 4,
+    "kmeans_restarts": 3,
+    "mutation_fraction": 0.10,
+    "objects_per_peer": 2,
+    "view_jitter": 0.02,
+    "seed": 7,
+    "mutation_seed": 99,
+    "n_queries": 6,
+}
+
+
+def _build_network(cfg: dict) -> HyperMNetwork:
+    workload, __ = build_markov_network(
+        n_peers=cfg["n_peers"],
+        items_per_peer=cfg["items_per_peer"],
+        dimensionality=cfg["dimensionality"],
+        config=HyperMConfig(
+            levels_used=cfg["levels_used"],
+            n_clusters=cfg["n_clusters"],
+            kmeans_restarts=cfg["kmeans_restarts"],
+        ),
+        rng=cfg["seed"],
+    )
+    return workload.network
+
+
+def _mutation_plan(net: HyperMNetwork, cfg: dict) -> list[tuple]:
+    """Per-peer ``(peer_id, new_rows, new_ids)``: views of new objects.
+
+    Each peer gains ``mutation_fraction`` of its corpus as jittered
+    copies of ``objects_per_peer`` of its own rows — a burst of views of
+    a few newly acquired objects, the arrival pattern the paper's
+    Figure 10c models.
+    """
+    rng = np.random.default_rng(cfg["mutation_seed"])
+    per_peer = int(round(cfg["mutation_fraction"] * cfg["items_per_peer"]))
+    dim = cfg["dimensionality"]
+    next_id = 1_000_000
+    plan = []
+    for peer_id in sorted(net.peers):
+        base = net.peers[peer_id].data
+        objects = base[
+            rng.integers(0, base.shape[0], size=cfg["objects_per_peer"])
+        ]
+        views = np.repeat(
+            objects, -(-per_peer // cfg["objects_per_peer"]), axis=0
+        )[:per_peer]
+        rows = np.clip(
+            views + rng.normal(0.0, cfg["view_jitter"], (per_peer, dim)),
+            0.0,
+            1.0,
+        )
+        plan.append(
+            (peer_id, rows, np.arange(next_id, next_id + per_peer))
+        )
+        next_id += per_peer
+    return plan
+
+
+def _republish_all(net: HyperMNetwork, *, full: bool) -> tuple:
+    """Repair every peer's summaries; return ``(seconds, bytes, hops)``."""
+    metrics = net.fabric.metrics
+    bytes_before = metrics.total_bytes
+    hops_before = metrics.total_hops
+    start = time.perf_counter()
+    for peer_id in sorted(net.peers):
+        net.republish_peer(peer_id, full=full)
+    elapsed = time.perf_counter() - start
+    return (
+        elapsed,
+        metrics.total_bytes - bytes_before,
+        metrics.total_hops - hops_before,
+    )
+
+
+def _verify_no_false_dismissal(net: HyperMNetwork, cfg: dict) -> None:
+    """Unbudgeted range queries must return the exact ground-truth set."""
+    truth_index = CentralizedIndex.from_network(net)
+    rng = np.random.default_rng(cfg["mutation_seed"] + 1)
+    idx = rng.integers(0, truth_index.data.shape[0], size=cfg["n_queries"])
+    for query in truth_index.data[idx]:
+        distances = np.linalg.norm(truth_index.data - query, axis=1)
+        radius = float(np.quantile(distances, 0.05))
+        truth = truth_index.range_search(query, radius)
+        result = net.range_query(query, radius, max_peers=None)
+        if set(result.item_ids) != set(truth):
+            raise AssertionError(
+                f"range query returned {len(result.item_ids)} items, "
+                f"ground truth has {len(truth)} — no-false-dismissal broken"
+            )
+
+
+def run_benchmark(config: dict | None = None) -> dict:
+    """Race delta repair against full republish; return the JSON report."""
+    cfg = {**DEFAULTS, **(config or {})}
+    net_delta = _build_network(cfg)
+    net_full = _build_network(cfg)
+    plan = _mutation_plan(net_delta, cfg)
+    for net in (net_delta, net_full):
+        for peer_id, rows, ids in plan:
+            net.peers[peer_id].add_items(rows.copy(), ids)
+
+    delta_s, delta_bytes, delta_hops = _republish_all(net_delta, full=False)
+    full_s, full_bytes, full_hops = _republish_all(net_full, full=True)
+
+    _verify_no_false_dismissal(net_delta, cfg)
+    _verify_no_false_dismissal(net_full, cfg)
+
+    return {
+        "benchmark": "publish_delta",
+        **{k: cfg[k] for k in sorted(DEFAULTS)},
+        "delta_s": delta_s,
+        "full_s": full_s,
+        "delta_bytes": delta_bytes,
+        "full_bytes": full_bytes,
+        "delta_hops": delta_hops,
+        "full_hops": full_hops,
+        "speedup": full_s / delta_s,
+        "bytes_speedup": full_bytes / delta_bytes,
+        "hops_speedup": full_hops / delta_hops,
+        "bytes_fraction": delta_bytes / full_bytes,
+        "hops_fraction": delta_hops / full_hops,
+    }
+
+
+def check_gates(
+    report: dict, *, min_speedup: float, max_traffic_fraction: float
+) -> list[str]:
+    """Return gate-failure messages (empty means every gate passed)."""
+    failures = []
+    if report["speedup"] < min_speedup:
+        failures.append(
+            f"wall-clock speedup {report['speedup']:.2f}x "
+            f"below the {min_speedup:.0f}x gate"
+        )
+    for field in ("bytes_fraction", "hops_fraction"):
+        if report[field] > max_traffic_fraction:
+            failures.append(
+                f"{field} {report[field]:.3f} exceeds the "
+                f"{max_traffic_fraction:.0%} gate"
+            )
+    return failures
+
+
+def _render(report: dict) -> str:
+    return (
+        "publish-delta benchmark — 10% mutation, repair via delta vs full\n"
+        f"  delta: {report['delta_s']:.3f}s, {report['delta_bytes']} bytes, "
+        f"{report['delta_hops']} hops\n"
+        f"  full : {report['full_s']:.3f}s, {report['full_bytes']} bytes, "
+        f"{report['full_hops']} hops\n"
+        f"  speedup {report['speedup']:.2f}x | delta sends "
+        f"{report['bytes_fraction']:.1%} of bytes, "
+        f"{report['hops_fraction']:.1%} of hops"
+    )
+
+
+def test_publish_delta_gates(record_table):
+    """Delta repair is >= 5x faster and sends <= 20% of the traffic."""
+    report = run_benchmark()
+    record_table("publish_delta", _render(report))
+    failures = check_gates(
+        report, min_speedup=5.0, max_traffic_fraction=0.20
+    )
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--max-traffic-fraction", type=float, default=0.20)
+    parser.add_argument("--out", default="BENCH_publish_delta.json")
+    args = parser.parse_args(argv)
+    report = run_benchmark()
+    print(_render(report))
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[saved to {args.out}]")
+    failures = check_gates(
+        report,
+        min_speedup=args.min_speedup,
+        max_traffic_fraction=args.max_traffic_fraction,
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -238,7 +238,10 @@ def _build_fig10b(args) -> ExperimentOutput:
 
 
 def _build_fig10c(args) -> ExperimentOutput:
-    rows = run_fig10c(**_filter_kwargs(run_fig10c, _common(args)))
+    republish = getattr(args, "republish", "none")
+    rows = run_fig10c(
+        **_filter_kwargs(run_fig10c, _common(args, republish=republish))
+    )
     text = rows_to_table(rows, title="Figure 10c — staleness")
     if args.plot:
         text += "\n\n" + line_chart(
@@ -449,6 +452,14 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         "--plot",
         action="store_true",
         help="also sketch the series as an ASCII chart",
+    )
+    parser.add_argument(
+        "--republish",
+        choices=("none", "delta", "full"),
+        default="none",
+        help="staleness remedy between fig10c insert steps: none (paper "
+        "scenario), delta (epoch-delta round per mutated peer), or full "
+        "(withdraw + republish from scratch)",
     )
     parser.add_argument(
         "--json",

@@ -6,6 +6,11 @@ scratch Lloyd/k-means++ implementation; :mod:`repro.clustering.quality`
 provides the cohesion/separation ratio measured in Figure 11.
 """
 
+from repro.clustering.incremental import (
+    EpochClusterState,
+    LevelDelta,
+    SummaryDelta,
+)
 from repro.clustering.kmeans import KMeansResult, kmeans
 from repro.clustering.quality import (
     cluster_quality,
@@ -25,4 +30,7 @@ __all__ = [
     "cluster_quality",
     "PeerSummary",
     "summarize_peer_data",
+    "EpochClusterState",
+    "LevelDelta",
+    "SummaryDelta",
 ]

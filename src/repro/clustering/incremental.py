@@ -1,0 +1,625 @@
+"""Incremental cluster maintenance — the epoch/delta publish pipeline's core.
+
+The paper's publish pipeline (Figure 2, steps *i1*–*i3*) treats a peer's
+corpus as static: any mutation forces a full re-summarize and re-insert.
+This module maintains a peer's per-level clustering *incrementally* so
+that the publish path can ship a small :class:`SummaryDelta` instead of a
+fresh :class:`~repro.clustering.summaries.PeerSummary`:
+
+* **Additions** are assigned to the nearest existing sphere, growing its
+  radius in place (centroids never move, so the no-false-dismissal
+  premise of Theorem 3.1 — every summarised item lies inside its sphere —
+  is preserved by construction).
+* **Removals** decrement sphere item counts; an emptied sphere is
+  retired. Radii are *not* shrunk on removal (a loose radius costs index
+  precision, never recall), which keeps removal O(1) per item.
+* **Oversized spheres split** (2-means over their members) and
+  **undersized spheres merge** into their nearest surviving sibling, so
+  the summary tracks the paper's ``K_p`` operating point under sustained
+  churn.
+* **Drift fallback** — once cumulative churn since the last full
+  clustering passes ``drift_threshold`` of the corpus, the whole level
+  set is re-clustered from scratch and the delta degenerates to
+  remove-everything + insert-everything (``SummaryDelta.full``).
+
+Sphere identity is a per-level monotonically increasing *sphere id*
+(sid). The network layer maps sids to overlay entry ids, so an updated
+sphere patches its existing entry in place rather than tombstone +
+re-insert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.spheres import ClusterSphere, spheres_from_clustering
+from repro.clustering.summaries import PeerSummary, summarize_peer_data
+from repro.exceptions import ClusteringError, ValidationError
+from repro.utils.rng import ensure_rng
+from repro.wavelets.multiresolution import decompose_dataset
+
+#: Split a sphere once its item count exceeds this multiple of the
+#: balanced per-sphere load ``n / K_p``.
+DEFAULT_SPLIT_FACTOR = 2.5
+
+#: Merge a sphere into its nearest sibling once its item count drops
+#: below this fraction of the balanced load (only while more than
+#: ``K_p`` spheres exist, so the steady state stays at the paper's knob).
+DEFAULT_MERGE_FRACTION = 0.15
+
+#: Fall back to full re-clustering once items added + removed since the
+#: last full clustering exceed this fraction of the corpus size.
+DEFAULT_DRIFT_THRESHOLD = 0.5
+
+#: A new item may grow its nearest sphere's radius by at most this factor
+#: (relative to the level's median radius as an absolute floor); items
+#: farther out seed fresh spheres instead. Force-growing a sphere around
+#: a distant item keeps Theorem 3.1 safe but produces huge, loose spheres
+#: that dilute the Eq. 1 relevance scores — tight new spheres preserve
+#: the summary quality a from-scratch clustering would have.
+DEFAULT_GROWTH_LIMIT = 1.5
+
+
+@dataclass(frozen=True)
+class LevelDelta:
+    """One level's publishable diff between two epochs.
+
+    Attributes
+    ----------
+    updated:
+        ``sid -> sphere`` for spheres whose radius and/or item count
+        changed in place. Centroids of updated spheres never move — a
+        centroid change is always expressed as remove + insert — so the
+        overlay can patch the existing entry without re-routing its key.
+    inserted:
+        ``sid -> sphere`` for freshly created spheres (splits, new
+        coverage, full re-clustering).
+    removed:
+        sids retired this epoch (emptied, merged away, split, or
+        superseded by a full re-clustering).
+    """
+
+    updated: dict
+    inserted: dict
+    removed: tuple
+
+    @property
+    def is_empty(self) -> bool:
+        """True when this level has nothing to publish."""
+        return not (self.updated or self.inserted or self.removed)
+
+
+@dataclass(frozen=True)
+class SummaryDelta:
+    """All levels' diffs for one publication round.
+
+    ``full`` marks a drift-triggered (or forced) full re-clustering: the
+    per-level deltas then remove every previously published sphere and
+    insert the fresh clustering, so appliers need no special case.
+    """
+
+    dimensionality: int
+    levels: tuple
+    per_level: dict
+    full: bool
+    items_covered: int
+    items_added: int
+    items_removed: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no level has anything to publish."""
+        return all(delta.is_empty for delta in self.per_level.values())
+
+    @property
+    def spheres_updated(self) -> int:
+        """Total in-place sphere updates across levels."""
+        return sum(len(d.updated) for d in self.per_level.values())
+
+    @property
+    def spheres_inserted(self) -> int:
+        """Total fresh spheres across levels."""
+        return sum(len(d.inserted) for d in self.per_level.values())
+
+    @property
+    def spheres_removed(self) -> int:
+        """Total retired spheres across levels."""
+        return sum(len(d.removed) for d in self.per_level.values())
+
+
+class EpochClusterState:
+    """A peer's live, incrementally maintained per-level clustering.
+
+    Created from a full :class:`PeerSummary` (the state right after a
+    full clustering); mutated by :meth:`note_removals` as published items
+    disappear and by :meth:`build_delta` when a publication round runs.
+    ``labels[level]`` holds the *sphere id* of every published item, in
+    item order, and stays position-aligned with the peer's published
+    prefix at all times.
+    """
+
+    def __init__(
+        self,
+        summary: PeerSummary,
+        *,
+        sid_start: int = 0,
+    ):
+        self.dimensionality = summary.dimensionality
+        self.levels = tuple(summary.levels)
+        self.spheres: dict = {}
+        self.labels: dict = {}
+        self._next_sid: dict = {}
+        n_items = None
+        for level in self.levels:
+            slot_spheres = summary.spheres[level]
+            self.spheres[level] = {
+                sid_start + slot: sphere
+                for slot, sphere in enumerate(slot_spheres)
+            }
+            labels = np.asarray(summary.labels[level], dtype=np.int64)
+            self.labels[level] = labels + sid_start
+            self._next_sid[level] = sid_start + len(slot_spheres)
+            if n_items is None:
+                n_items = int(labels.shape[0])
+            elif n_items != int(labels.shape[0]):
+                raise ValidationError(
+                    "summary labels disagree across levels on item count"
+                )
+        self.items_at_full = int(n_items or 0)
+        self.churn_since_full = 0
+        self._pending_removed: dict = {level: {} for level in self.levels}
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_published(self) -> int:
+        """Items currently tracked by the label arrays."""
+        return int(self.labels[self.levels[0]].shape[0])
+
+    @property
+    def sid_high(self) -> int:
+        """First sid no level has allocated yet (for successor states)."""
+        return max(self._next_sid.values())
+
+    def total_spheres(self) -> int:
+        """Live spheres across all levels."""
+        return sum(len(spheres) for spheres in self.spheres.values())
+
+    # -- mutation hooks ------------------------------------------------------
+
+    def note_removals(self, positions: np.ndarray) -> None:
+        """Record removal of published items at ``positions``.
+
+        ``positions`` index the published prefix *before* the removal.
+        The per-level label arrays are compacted immediately (so they
+        stay aligned with the peer's data arrays); the sphere count
+        decrements are deferred to the next :meth:`build_delta` so one
+        publication round flushes the whole batch.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return
+        for level in self.levels:
+            labels = self.labels[level]
+            pending = self._pending_removed[level]
+            for sid in labels[positions]:
+                sid = int(sid)
+                pending[sid] = pending.get(sid, 0) + 1
+            self.labels[level] = np.delete(labels, positions)
+        self.churn_since_full += int(positions.size)
+
+    # -- the delta builder ---------------------------------------------------
+
+    def build_delta(
+        self,
+        published: np.ndarray,
+        new_from: int,
+        *,
+        n_clusters: int,
+        rng=None,
+        n_init: int = 1,
+        force_full: bool = False,
+        split_factor: float = DEFAULT_SPLIT_FACTOR,
+        merge_fraction: float = DEFAULT_MERGE_FRACTION,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    ) -> SummaryDelta:
+        """Fold pending mutations into the clustering; return the diff.
+
+        Parameters
+        ----------
+        published:
+            The peer's *entire* post-round published matrix: rows
+            ``[:new_from]`` were already published (minus removals,
+            already folded into the label arrays), rows ``[new_from:]``
+            become published this round.
+        new_from:
+            Boundary between previously published and new rows; must
+            equal :attr:`n_published`.
+        """
+        published = np.asarray(published, dtype=np.float64)
+        n_total = published.shape[0]
+        n_new = n_total - int(new_from)
+        if n_new < 0:
+            raise ValidationError(
+                f"new_from {new_from} exceeds published rows {n_total}"
+            )
+        if int(new_from) != self.n_published:
+            raise ValidationError(
+                f"label arrays track {self.n_published} published items "
+                f"but new_from is {new_from}"
+            )
+        if n_total == 0:
+            raise ClusteringError("no published items to summarise")
+        generator = ensure_rng(rng)
+
+        churn = self.churn_since_full + n_new
+        if force_full or churn > drift_threshold * max(1, self.items_at_full):
+            return self._rebuild_full(
+                published, n_clusters=n_clusters, rng=generator, n_init=n_init
+            )
+
+        k = min(n_clusters, n_total)
+        target_load = max(1, math.ceil(n_total / k))
+        decomposition = (
+            decompose_dataset(published[new_from:]) if n_new else None
+        )
+        per_level: dict = {}
+        for level in self.levels:
+            per_level[level] = self._level_delta(
+                level,
+                published,
+                decomposition[level] if decomposition is not None else None,
+                k=k,
+                target_load=target_load,
+                split_factor=split_factor,
+                merge_fraction=merge_fraction,
+                rng=generator,
+                n_init=n_init,
+            )
+        self.churn_since_full = churn
+        removed_total = sum(
+            count
+            for pending in self._pending_removed.values()
+            for count in pending.values()
+        ) // max(1, len(self.levels))
+        self._pending_removed = {level: {} for level in self.levels}
+        return SummaryDelta(
+            dimensionality=self.dimensionality,
+            levels=self.levels,
+            per_level=per_level,
+            full=False,
+            items_covered=n_total,
+            items_added=n_new,
+            items_removed=removed_total,
+        )
+
+    def _rebuild_full(
+        self, published: np.ndarray, *, n_clusters: int, rng, n_init: int
+    ) -> SummaryDelta:
+        """Drift fallback: re-cluster from scratch, diff = replace-all."""
+        removed_items = sum(
+            self._pending_removed[self.levels[0]].values()
+        ) if self.levels else 0
+        n_new = published.shape[0] - self.n_published
+        summary = summarize_peer_data(
+            published,
+            n_clusters=n_clusters,
+            levels_used=len(self.levels),
+            rng=rng,
+            n_init=n_init,
+        )
+        per_level: dict = {}
+        for level in self.levels:
+            old_sids = tuple(sorted(self.spheres[level]))
+            base = self._next_sid[level]
+            fresh = {
+                base + slot: sphere
+                for slot, sphere in enumerate(summary.spheres[level])
+            }
+            self.spheres[level] = fresh
+            self.labels[level] = (
+                np.asarray(summary.labels[level], dtype=np.int64) + base
+            )
+            self._next_sid[level] = base + len(fresh)
+            per_level[level] = LevelDelta(
+                updated={}, inserted=dict(fresh), removed=old_sids
+            )
+        self.items_at_full = int(published.shape[0])
+        self.churn_since_full = 0
+        self._pending_removed = {level: {} for level in self.levels}
+        return SummaryDelta(
+            dimensionality=self.dimensionality,
+            levels=self.levels,
+            per_level=per_level,
+            full=True,
+            items_covered=int(published.shape[0]),
+            items_added=max(0, n_new),
+            items_removed=removed_items,
+        )
+
+    # -- per-level incremental maintenance -----------------------------------
+
+    def _level_delta(
+        self,
+        level,
+        published: np.ndarray,
+        new_coeffs,
+        *,
+        k: int,
+        target_load: int,
+        split_factor: float,
+        merge_fraction: float,
+        rng,
+        n_init: int,
+    ) -> LevelDelta:
+        spheres = self.spheres[level]
+        touched: set = set()
+        inserted: dict = {}
+        removed: list = []
+        limit = 2 * k  # sphere-count cap per level between full epochs
+
+        # 1. flush pending removals: counts drop, emptied spheres retire.
+        for sid, count in self._pending_removed[level].items():
+            sphere = spheres[sid]
+            remaining = sphere.items - count
+            if remaining <= 0:
+                del spheres[sid]
+                removed.append(sid)
+                touched.discard(sid)
+            else:
+                spheres[sid] = replace(sphere, items=remaining)
+                touched.add(sid)
+
+        # 2. place new items: nearby ones grow their nearest sphere in
+        #    place (centroids stay put); outliers seed fresh spheres.
+        if new_coeffs is not None and new_coeffs.shape[0]:
+            start = 0
+            if not spheres:
+                # Every sphere retired: bootstrap from the first new item.
+                sid = self._alloc_sid(level)
+                spheres[sid] = ClusterSphere(
+                    centroid=new_coeffs[0].copy(), radius=0.0, items=1
+                )
+                inserted[sid] = spheres[sid]
+                self.labels[level] = np.concatenate(
+                    [self.labels[level], np.asarray([sid], dtype=np.int64)]
+                )
+                start = 1
+            if start < new_coeffs.shape[0]:
+                self._assign_new(
+                    level,
+                    new_coeffs[start:],
+                    touched,
+                    inserted,
+                    target_load=target_load,
+                    max_spheres=limit,
+                    rng=rng,
+                    n_init=n_init,
+                )
+
+        # 3. split oversized spheres (2-means over their members).
+        threshold = split_factor * target_load
+        for sid in sorted(touched | set(inserted)):
+            if len(spheres) >= limit:
+                break
+            if sid in spheres and spheres[sid].items > threshold:
+                self._split(
+                    level, sid, published, touched, inserted, removed,
+                    rng=rng, n_init=n_init,
+                )
+
+        # 4. merge undersized spheres while the level runs over K_p.
+        floor = merge_fraction * target_load
+        if floor > 0:
+            for sid in sorted(spheres):
+                if len(spheres) <= k:
+                    break
+                if sid in spheres and spheres[sid].items < floor:
+                    self._merge(
+                        level, sid, published, touched, inserted, removed
+                    )
+
+        updated = {
+            sid: spheres[sid]
+            for sid in sorted(touched)
+            if sid in spheres and sid not in inserted
+        }
+        return LevelDelta(
+            updated=updated, inserted=inserted, removed=tuple(sorted(removed))
+        )
+
+    def _alloc_sid(self, level) -> int:
+        sid = self._next_sid[level]
+        self._next_sid[level] = sid + 1
+        return sid
+
+    def _assign_new(
+        self,
+        level,
+        coeffs: np.ndarray,
+        touched: set,
+        inserted: dict,
+        *,
+        target_load: int,
+        max_spheres: int,
+        rng,
+        n_init: int,
+        growth_limit: float = DEFAULT_GROWTH_LIMIT,
+    ) -> None:
+        """Place new items: grow nearest spheres, seed outliers fresh.
+
+        An item whose nearest centroid lies within ``growth_limit`` times
+        that sphere's radius (with the level's median radius as an
+        absolute floor) joins the sphere, growing its radius in place.
+        Items beyond that reach would inflate the sphere into a loose
+        blob that dilutes the Eq. 1 relevance scores, so they seed fresh
+        tight spheres instead (leader/BIRCH-style), subject to the level
+        sphere cap.
+        """
+        spheres = self.spheres[level]
+        sids = np.fromiter(sorted(spheres), dtype=np.int64, count=len(spheres))
+        centroids = np.stack([spheres[int(s)].centroid for s in sids])
+        radii = np.asarray(
+            [spheres[int(s)].radius for s in sids], dtype=np.float64
+        )
+        # (n_new, k) distances via the BLAS expansion used everywhere else.
+        c_sq = np.einsum("ij,ij->i", centroids, centroids)[None, :]
+        p_sq = np.einsum("ij,ij->i", coeffs, coeffs)[:, None]
+        d2 = p_sq - 2.0 * (coeffs @ centroids.T) + c_sq
+        np.maximum(d2, 0.0, out=d2)
+        nearest = d2.argmin(axis=1)
+        dists = np.sqrt(d2[np.arange(coeffs.shape[0]), nearest])
+
+        reach = growth_limit * np.maximum(
+            radii[nearest], float(np.median(radii))
+        )
+        outlier = dists > reach
+        if len(spheres) >= max_spheres:
+            outlier[:] = False  # no room: force-grow as a last resort
+
+        assigned = np.empty(coeffs.shape[0], dtype=np.int64)
+        inlier_idx = np.flatnonzero(~outlier)
+        if inlier_idx.size:
+            in_nearest = nearest[inlier_idx]
+            counts = np.bincount(in_nearest, minlength=sids.shape[0])
+            max_dist = np.zeros(sids.shape[0], dtype=np.float64)
+            np.maximum.at(max_dist, in_nearest, dists[inlier_idx])
+            for slot in np.flatnonzero(counts):
+                sid = int(sids[slot])
+                sphere = spheres[sid]
+                spheres[sid] = replace(
+                    sphere,
+                    radius=max(sphere.radius, float(max_dist[slot])),
+                    items=sphere.items + int(counts[slot]),
+                )
+                touched.add(sid)
+            assigned[inlier_idx] = sids[in_nearest]
+
+        out_idx = np.flatnonzero(outlier)
+        if out_idx.size:
+            out_coeffs = coeffs[out_idx]
+            room = max_spheres - len(spheres)
+            k_new = min(
+                room,
+                max(1, -(-int(out_idx.size) // max(1, target_load))),
+                int(np.unique(out_coeffs, axis=0).shape[0]),
+            )
+            result = kmeans(out_coeffs, k_new, rng=rng, n_init=n_init)
+            sid_for_cluster = np.empty(result.k, dtype=np.int64)
+            for c in range(result.k):
+                members = out_coeffs[result.labels == c]
+                if members.shape[0] == 0:
+                    continue
+                centroid = np.asarray(result.centroids[c], dtype=np.float64)
+                radius = float(
+                    np.linalg.norm(members - centroid, axis=1).max()
+                )
+                sid = self._alloc_sid(level)
+                sphere = ClusterSphere(
+                    centroid=centroid, radius=radius, items=members.shape[0]
+                )
+                spheres[sid] = sphere
+                inserted[sid] = sphere
+                sid_for_cluster[c] = sid
+            assigned[out_idx] = sid_for_cluster[result.labels]
+
+        self.labels[level] = np.concatenate([self.labels[level], assigned])
+
+    def _member_coeffs(
+        self, level, published: np.ndarray, members: np.ndarray
+    ) -> np.ndarray:
+        """Per-level coefficients of specific published rows (on demand)."""
+        return decompose_dataset(published[members])[level]
+
+    def _split(
+        self, level, sid: int, published: np.ndarray,
+        touched: set, inserted: dict, removed: list, *, rng, n_init: int,
+    ) -> None:
+        spheres = self.spheres[level]
+        labels = self.labels[level]
+        members = np.flatnonzero(labels == sid)
+        if members.size < 2:
+            return
+        coeffs = self._member_coeffs(level, published, members)
+        if np.unique(coeffs, axis=0).shape[0] < 2:
+            return
+        result = kmeans(coeffs, 2, rng=rng, n_init=n_init)
+        halves = spheres_from_clustering(coeffs, result)
+        if len(halves) < 2:
+            return
+        if sid in inserted:
+            del inserted[sid]  # never published; vanish silently
+        else:
+            removed.append(sid)
+        touched.discard(sid)
+        del spheres[sid]
+        for half, member_mask in zip(
+            halves, (result.labels == 0, result.labels == 1), strict=False
+        ):
+            new_sid = self._alloc_sid(level)
+            spheres[new_sid] = half
+            inserted[new_sid] = half
+            labels[members[member_mask]] = new_sid
+
+    def _merge(
+        self, level, sid: int, published: np.ndarray,
+        touched: set, inserted: dict, removed: list,
+    ) -> None:
+        spheres = self.spheres[level]
+        others = [s for s in spheres if s != sid]
+        if not others:
+            return
+        victim = spheres[sid]
+        absorber_sid = min(
+            others,
+            key=lambda s: float(
+                np.linalg.norm(spheres[s].centroid - victim.centroid)
+            ),
+        )
+        absorber = spheres[absorber_sid]
+        labels = self.labels[level]
+        members = np.flatnonzero(labels == sid)
+        if members.size:
+            coeffs = self._member_coeffs(level, published, members)
+            reach = float(
+                np.linalg.norm(coeffs - absorber.centroid, axis=1).max()
+            )
+        else:
+            reach = 0.0
+        spheres[absorber_sid] = replace(
+            absorber,
+            radius=max(absorber.radius, reach),
+            items=absorber.items + victim.items,
+        )
+        labels[members] = absorber_sid
+        touched.add(absorber_sid)
+        if sid in inserted:
+            del inserted[sid]
+        else:
+            removed.append(sid)
+        touched.discard(sid)
+        del spheres[sid]
+
+    # -- summary view --------------------------------------------------------
+
+    def to_summary(self) -> PeerSummary:
+        """Snapshot the live state as a slot-indexed :class:`PeerSummary`."""
+        spheres: dict = {}
+        labels: dict = {}
+        for level in self.levels:
+            sids = np.fromiter(
+                sorted(self.spheres[level]), dtype=np.int64,
+                count=len(self.spheres[level]),
+            )
+            spheres[level] = [self.spheres[level][int(s)] for s in sids]
+            labels[level] = np.searchsorted(sids, self.labels[level])
+        return PeerSummary(
+            dimensionality=self.dimensionality,
+            levels=self.levels,
+            spheres=spheres,
+            labels=labels,
+        )

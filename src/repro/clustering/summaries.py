@@ -98,7 +98,7 @@ def summarize_peer_data(
     spheres: dict = {}
     labels: dict = {}
     k = min(n_clusters, n)
-    for level, child in zip(levels, child_rngs):
+    for level, child in zip(levels, child_rngs, strict=True):
         coeffs = decomposition[level]
         with recorder.span(
             f"kmeans[{level}]", level=str(level), k=k, items=n

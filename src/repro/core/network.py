@@ -125,6 +125,10 @@ class HyperMNetwork:
         }
         self.peers: dict[int, HyperMPeer] = {}
         self._overlay_node: dict[tuple[Level, int], int] = {}
+        #: ``(level, peer_id) -> {sid -> entry_id}``: which overlay entry
+        #: each published sphere (by its epoch-state sphere id) lives at.
+        #: The delta pipeline patches/retracts these entries in place.
+        self._published_entries: dict[tuple[Level, int], dict[int, int]] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         overlay = type(next(iter(self.overlays.values()))).__name__
@@ -220,6 +224,8 @@ class HyperMNetwork:
         from repro.net.messages import MessageKind, vector_message_size
 
         removed = 0
+        for level in self.levels:
+            self._published_entries.pop((level, peer_id), None)
         for level, overlay in self.overlays.items():
             store = overlay.level_store
             doomed = store.rows_for_peer(peer_id)
@@ -274,10 +280,38 @@ class HyperMNetwork:
 
     # -- publication (paper Figure 2) -------------------------------------------
 
+    def _sphere_payload(self, peer_id: int, sphere, level: Level):
+        """Key-space key, radius, and record of one sphere at ``level``."""
+        key = np.clip(to_unit_cube(sphere.centroid, level), 0.0, 1.0)
+        radius = key_space_radius(sphere.radius, level)
+        record = ClusterRecord(
+            peer_id=peer_id, items=sphere.items, level_name=str(level)
+        )
+        return key, radius, record
+
+    def _insert_sphere(
+        self, overlay, origin: int, peer_id: int, sphere, level: Level
+    ):
+        """Insert one sphere; returns ``(receipt, entry_id)``.
+
+        The store assigns the next monotonic id to the inserted row, so
+        capturing ``next_entry_id`` beforehand pins the id the delta
+        pipeline will later patch or retract.
+        """
+        key, radius, record = self._sphere_payload(peer_id, sphere, level)
+        entry_id = overlay.level_store.next_entry_id
+        receipt = overlay.insert(origin, key, record, radius=radius)
+        return receipt, entry_id
+
     def publish_peer(
         self, peer_id: int, *, summary=None
     ) -> DisseminationReport:
-        """Summarise and publish one peer's items (steps i1–i3).
+        """Summarise and publish one peer's items in full (steps i1–i3).
+
+        The degenerate full-epoch case of the delta pipeline: one fresh
+        clustering of the published prefix, every sphere inserted, and the
+        peer's epoch state reset around the new summary so later
+        :meth:`publish_delta` rounds can diff against it.
 
         A prebuilt ``summary`` (e.g. restored via
         :mod:`repro.core.serialization` from a previous session) skips the
@@ -304,30 +338,31 @@ class HyperMNetwork:
                     raise ValidationError(
                         "summary levels do not match the network's levels"
                     )
-                peer.summary = summary
+            peer.adopt_full_summary(summary)
+            state = peer.epoch_state
             report = DisseminationReport(items_published=peer.unpublished_from)
             bytes_before = self.fabric.metrics.total_bytes
             energy_before = self.fabric.energy.total
             for level in self.levels:
                 overlay = self.overlays[level]
                 origin = self.overlay_node(level, peer_id)
+                # Fresh-state sids are slot-aligned (sid = start + slot),
+                # so iterating the summary in slot order pairs each sphere
+                # with its sid for the entry mapping.
+                sids = (
+                    sorted(state.spheres[level]) if state is not None else None
+                )
+                mapping: dict[int, int] = {}
                 with recorder.span(
                     f"can_insert[{level}]", level=str(level)
                 ) as level_span:
                     routing = replicas = 0
-                    for sphere in summary.spheres[level]:
-                        key = np.clip(
-                            to_unit_cube(sphere.centroid, level), 0.0, 1.0
+                    for slot, sphere in enumerate(summary.spheres[level]):
+                        receipt, entry_id = self._insert_sphere(
+                            overlay, origin, peer_id, sphere, level
                         )
-                        radius = key_space_radius(sphere.radius, level)
-                        record = ClusterRecord(
-                            peer_id=peer_id,
-                            items=sphere.items,
-                            level_name=str(level),
-                        )
-                        receipt = overlay.insert(
-                            origin, key, record, radius=radius
-                        )
+                        if sids is not None:
+                            mapping[sids[slot]] = entry_id
                         report.spheres_inserted += 1
                         routing += receipt.routing_hops
                         replicas += receipt.replicas
@@ -338,6 +373,7 @@ class HyperMNetwork:
                         routing_hops=routing,
                         replica_hops=replicas,
                     )
+                self._published_entries[(level, peer_id)] = mapping
             report.bytes_sent = self.fabric.metrics.total_bytes - bytes_before
             report.energy = self.fabric.energy.total - energy_before
             publish_span.set(
@@ -359,18 +395,217 @@ class HyperMNetwork:
         )
         return report
 
-    def republish_peer(self, peer_id: int) -> DisseminationReport:
-        """Withdraw and re-publish one peer's summaries over ALL its items.
+    def publish_delta(
+        self, peer_id: int, *, force_full: bool = False
+    ) -> DisseminationReport:
+        """Publish one peer's *mutations* since its last publication.
 
-        The staleness remedy for Figure 10c's scenario: items added after
-        the initial publication (``HyperMPeer.add_items``) become visible
-        to the index again at the cost of one fresh dissemination round
-        for this peer. Returns the new round's dissemination report.
+        The epoch-based delta pipeline: the peer folds every pending
+        add/remove into its incrementally maintained clustering
+        (:meth:`HyperMPeer.build_delta`), and only the diff touches the
+        overlays — updated spheres patch their existing entry ids in
+        place (one batched scalar ``PUBLISH_DELTA`` message per holder),
+        retired spheres ride the tombstone machinery, and only genuinely
+        new spheres pay the full routed-insert price. A peer with no
+        pending mutations costs zero spheres and zero bytes. Past the
+        drift threshold (or with ``force_full``) the round degenerates to
+        a full re-clustering expressed as remove-all + insert-all.
         """
         peer = self.peers[peer_id]
-        self.withdraw_summaries(peer_id, charge=True)
-        peer.unpublished_from = peer.n_items
-        return self.publish_peer(peer_id)
+        recorder = obs_trace.state.recorder
+        metrics = obs_registry.metrics()
+        with recorder.span("publish_delta", peer=peer_id) as delta_span:
+            with recorder.span("delta_build", peer=peer_id) as build_span:
+                delta = peer.build_delta(
+                    n_clusters=self.config.n_clusters,
+                    levels_used=self.config.levels_used,
+                    rng=self._rng,
+                    n_init=self.config.kmeans_restarts,
+                    force_full=force_full,
+                )
+                build_span.set(
+                    full=delta.full,
+                    items_added=delta.items_added,
+                    items_removed=delta.items_removed,
+                    updated=delta.spheres_updated,
+                    inserted=delta.spheres_inserted,
+                    removed=delta.spheres_removed,
+                )
+            if delta.full:
+                items_changed = delta.items_covered
+            else:
+                items_changed = delta.items_added + delta.items_removed
+            report = DisseminationReport(items_published=items_changed)
+            bytes_before = self.fabric.metrics.total_bytes
+            energy_before = self.fabric.energy.total
+            self._apply_delta(peer_id, delta, report, recorder)
+            report.bytes_sent = self.fabric.metrics.total_bytes - bytes_before
+            report.energy = self.fabric.energy.total - energy_before
+            delta_span.set(
+                items=report.items_published,
+                inserted=report.spheres_inserted,
+                updated=report.spheres_updated,
+                removed=report.spheres_removed,
+                routing_hops=report.routing_hops,
+                replica_hops=report.replica_hops,
+                bytes=report.bytes_sent,
+                full=delta.full,
+            )
+        metrics.counter("publish.delta.operations").inc()
+        metrics.counter("publish.delta.items").inc(report.items_published)
+        metrics.counter("publish.delta.spheres_inserted").inc(
+            report.spheres_inserted
+        )
+        metrics.counter("publish.delta.spheres_updated").inc(
+            report.spheres_updated
+        )
+        metrics.counter("publish.delta.spheres_removed").inc(
+            report.spheres_removed
+        )
+        metrics.counter("publish.delta.routing_hops").inc(report.routing_hops)
+        metrics.counter("publish.delta.replica_hops").inc(report.replica_hops)
+        metrics.counter("publish.delta.bytes").inc(report.bytes_sent)
+        if delta.full:
+            metrics.counter("publish.delta.full_fallbacks").inc()
+        return report
+
+    def _apply_delta(
+        self, peer_id: int, delta, report: DisseminationReport, recorder
+    ) -> None:
+        """Apply one :class:`SummaryDelta` to every level overlay.
+
+        Per level, in tombstone-safe order: retired spheres are retracted
+        first (batched per holder), surviving updated spheres patch their
+        entries in place, and new spheres are inserted with fresh entry
+        ids. Spheres whose mapped entry died underneath them — withdrawn
+        while the peer was away, or tombstoned by the failure detector —
+        are *revived* with a normal insert, so a delta round always leaves
+        the overlays covering the peer's full published state.
+        """
+        peer = self.peers[peer_id]
+        state = peer.epoch_state
+        for level in self.levels:
+            overlay = self.overlays[level]
+            store = overlay.level_store
+            origin = self.overlay_node(level, peer_id)
+            level_delta = delta.per_level[level]
+            mapping = self._published_entries.setdefault((level, peer_id), {})
+            with recorder.span(
+                f"delta_apply[{level}]", level=str(level)
+            ) as level_span:
+                # 1. removals (a full delta replaces everything mapped).
+                if delta.full:
+                    doomed_sids = list(mapping)
+                else:
+                    doomed_sids = [
+                        sid for sid in level_delta.removed if sid in mapping
+                    ]
+                doomed_entries = [mapping.pop(sid) for sid in doomed_sids]
+                live_doomed = [
+                    eid for eid in doomed_entries if store.has_entry(eid)
+                ]
+                retract_hops = 0
+                if live_doomed:
+                    if hasattr(overlay, "retract_entries"):
+                        retract_hops = overlay.retract_entries(
+                            origin, live_doomed
+                        )
+                        report.routing_hops += retract_hops
+                    else:
+                        for eid in live_doomed:
+                            store.remove_entry(eid)
+                        store.maybe_compact()
+                report.spheres_removed += len(level_delta.removed)
+
+                # 2. in-place updates; dead entries fall through to revival.
+                patches = []
+                revive = []
+                for sid in sorted(level_delta.updated):
+                    sphere = level_delta.updated[sid]
+                    eid = mapping.get(sid)
+                    if eid is None or not store.has_entry(eid):
+                        revive.append((sid, sphere))
+                        continue
+                    __, radius, record = self._sphere_payload(
+                        peer_id, sphere, level
+                    )
+                    patches.append((eid, radius, record))
+                patch_hops = extend_hops = 0
+                if patches:
+                    if hasattr(overlay, "patch_entries"):
+                        patch_hops, extend_hops = overlay.patch_entries(
+                            origin, patches
+                        )
+                        report.routing_hops += patch_hops
+                        report.replica_hops += extend_hops
+                    else:
+                        for eid, radius, record in patches:
+                            store.update_entry(
+                                eid, radius=radius, value=record
+                            )
+                    report.spheres_updated += len(patches)
+
+                # 3. inserts: new spheres, plus revivals of dead entries.
+                to_insert = [
+                    (sid, level_delta.inserted[sid])
+                    for sid in sorted(level_delta.inserted)
+                ]
+                to_insert.extend(revive)
+                # Resync sweep: unchanged spheres whose entries vanished
+                # (withdrawn or tombstoned while the peer was away).
+                if state is not None and not delta.full:
+                    for sid in sorted(state.spheres[level]):
+                        if (
+                            sid in level_delta.updated
+                            or sid in level_delta.inserted
+                        ):
+                            continue
+                        eid = mapping.get(sid)
+                        if eid is not None and store.has_entry(eid):
+                            continue
+                        to_insert.append((sid, state.spheres[level][sid]))
+                routing = replicas = 0
+                for sid, sphere in to_insert:
+                    receipt, entry_id = self._insert_sphere(
+                        overlay, origin, peer_id, sphere, level
+                    )
+                    mapping[sid] = entry_id
+                    report.spheres_inserted += 1
+                    routing += receipt.routing_hops
+                    replicas += receipt.replicas
+                report.routing_hops += routing
+                report.replica_hops += replicas
+                level_span.set(
+                    removed=len(doomed_sids),
+                    updated=len(patches),
+                    inserted=len(to_insert),
+                    retract_hops=retract_hops,
+                    patch_hops=patch_hops,
+                    routing_hops=routing,
+                    replica_hops=extend_hops + replicas,
+                )
+
+    def republish_peer(
+        self, peer_id: int, *, full: bool = False
+    ) -> DisseminationReport:
+        """Bring one peer's published index state up to date.
+
+        The staleness remedy for Figure 10c's scenario: items added (or
+        removed) after the last publication become visible to the index
+        again. By default this is one :meth:`publish_delta` round — only
+        the changed spheres touch the overlays, and a call with no
+        pending mutations is **idempotent**: zero spheres moved, zero
+        bytes sent. With ``full=True`` the legacy behaviour runs instead:
+        withdraw every published summary (charged) and re-publish a fresh
+        clustering of all items — the baseline the delta path is measured
+        against.
+        """
+        if full:
+            peer = self.peers[peer_id]
+            self.withdraw_summaries(peer_id, charge=True)
+            peer.unpublished_from = peer.n_items
+            return self.publish_peer(peer_id)
+        return self.publish_delta(peer_id)
 
     def publish_all(self) -> DisseminationReport:
         """Publish every peer; returns the merged dissemination report."""

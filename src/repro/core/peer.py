@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.clustering.incremental import (
+    EpochClusterState,
+    LevelDelta,
+    SummaryDelta,
+)
 from repro.clustering.summaries import PeerSummary, summarize_peer_data
 from repro.core.results import RetrievedItem, distances_to_query
 from repro.exceptions import ValidationError
@@ -47,6 +52,12 @@ class HyperMPeer:
         #: Items added after publication (Figure 10c staleness experiments):
         #: visible to direct retrieval, invisible to the published index.
         self.unpublished_from = data.shape[0]
+        #: Publication epoch: bumps whenever a publish round actually
+        #: changed the peer's published state (delta or full).
+        self.epoch = 0
+        #: Live incremental clustering of the published prefix (None until
+        #: the first publication); drives the epoch/delta publish path.
+        self.epoch_state: EpochClusterState | None = None
         #: MANET churn: an offline peer's published summaries linger in the
         #: overlays, but direct retrieval from it fails.
         self.online = True
@@ -87,6 +98,99 @@ class HyperMPeer:
         )
         return self.summary
 
+    def adopt_full_summary(self, summary: PeerSummary) -> None:
+        """Reset epoch bookkeeping around a freshly built *full* summary.
+
+        Called after a full clustering round (first publication, forced
+        republish, restored summary): the incremental epoch state restarts
+        from this summary, continuing the per-level sid numbering so
+        sphere ids never collide across epochs. A summary whose labels do
+        not cover the published prefix (e.g. restored from a foreign
+        snapshot) leaves ``epoch_state`` unset — the next delta round
+        simply bootstraps with a full re-clustering.
+        """
+        self.summary = summary
+        sid_start = self.epoch_state.sid_high if self.epoch_state else 0
+        try:
+            state = EpochClusterState(summary, sid_start=sid_start)
+        except (ValidationError, KeyError):
+            state = None
+        if state is not None and state.n_published != self.unpublished_from:
+            state = None
+        self.epoch_state = state
+        self.epoch += 1
+
+    def build_delta(
+        self,
+        *,
+        n_clusters: int,
+        levels_used: int,
+        rng=None,
+        n_init: int = 1,
+        force_full: bool = False,
+    ) -> SummaryDelta:
+        """Fold every pending mutation into the clustering; return the diff.
+
+        Advances the publication horizon over all currently held items.
+        The first call (or one after epoch bookkeeping was lost) runs a
+        full clustering and returns a degenerate insert-everything delta;
+        later calls return the incremental diff maintained by
+        :class:`repro.clustering.incremental.EpochClusterState`, falling
+        back to a full re-clustering past the drift threshold or when
+        ``force_full`` is set.
+        """
+        horizon = self.n_items
+        if horizon == 0:
+            raise ValidationError(
+                f"peer {self.peer_id} has no items to summarise"
+            )
+        state = self.epoch_state
+        if (
+            state is None
+            or len(state.levels) != levels_used
+            or state.dimensionality != self.dimensionality
+        ):
+            self.unpublished_from = horizon
+            summary = summarize_peer_data(
+                self.data,
+                n_clusters=n_clusters,
+                levels_used=levels_used,
+                rng=rng,
+                n_init=n_init,
+            )
+            self.adopt_full_summary(summary)
+            state = self.epoch_state
+            per_level = {
+                level: LevelDelta(
+                    updated={},
+                    inserted=dict(state.spheres[level]),
+                    removed=(),
+                )
+                for level in state.levels
+            }
+            return SummaryDelta(
+                dimensionality=self.dimensionality,
+                levels=state.levels,
+                per_level=per_level,
+                full=True,
+                items_covered=horizon,
+                items_added=horizon,
+                items_removed=0,
+            )
+        delta = state.build_delta(
+            self.data[:horizon],
+            self.unpublished_from,
+            n_clusters=n_clusters,
+            rng=rng,
+            n_init=n_init,
+            force_full=force_full,
+        )
+        self.summary = state.to_summary()
+        self.unpublished_from = horizon
+        if not delta.is_empty:
+            self.epoch += 1
+        return delta
+
     def add_items(
         self, new_data: np.ndarray, new_ids: np.ndarray
     ) -> None:
@@ -94,7 +198,9 @@ class HyperMPeer:
 
         Models the paper's Figure 10c scenario: during the network's short
         lifetime new items arrive after the overlay is built; summaries go
-        stale and recall degrades for those items.
+        stale and recall degrades for those items. Rejects item ids the
+        peer already holds — a silent duplicate would double-count the
+        item in precision/recall accounting.
         """
         new_data = check_unit_cube(
             check_matrix(new_data, "new_data", dim=self.dimensionality), "new_data"
@@ -102,8 +208,42 @@ class HyperMPeer:
         new_ids = np.asarray(new_ids, dtype=np.int64)
         if new_ids.shape[0] != new_data.shape[0]:
             raise ValidationError("new_ids length does not match new_data rows")
+        if np.unique(new_ids).shape[0] != new_ids.shape[0]:
+            raise ValidationError("new_ids contains duplicate item ids")
+        collisions = np.intersect1d(new_ids, self.item_ids)
+        if collisions.size:
+            raise ValidationError(
+                f"peer {self.peer_id} already holds item id(s) "
+                f"{collisions[:5].tolist()}"
+            )
         self.data = np.vstack([self.data, new_data])
         self.item_ids = np.concatenate([self.item_ids, new_ids])
+
+    def remove_items(self, item_ids) -> int:
+        """Drop held items by id; returns how many were removed.
+
+        Removals of *published* items are recorded in the epoch state so
+        the next delta publication round shrinks (or retires) the spheres
+        that summarised them; unpublished items simply vanish. Unknown
+        ids raise.
+        """
+        ids = np.unique(np.asarray(item_ids, dtype=np.int64))
+        if ids.size == 0:
+            return 0
+        positions = np.flatnonzero(np.isin(self.item_ids, ids))
+        if positions.size != ids.size:
+            missing = np.setdiff1d(ids, self.item_ids[positions])
+            raise ValidationError(
+                f"peer {self.peer_id} does not hold item id(s) "
+                f"{missing[:5].tolist()}"
+            )
+        published = positions[positions < self.unpublished_from]
+        if self.epoch_state is not None and published.size:
+            self.epoch_state.note_removals(published)
+        self.data = np.delete(self.data, positions, axis=0)
+        self.item_ids = np.delete(self.item_ids, positions)
+        self.unpublished_from -= int(published.size)
+        return int(positions.size)
 
     # -- direct retrieval (query phase s3) -------------------------------------
 

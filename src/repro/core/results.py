@@ -165,6 +165,10 @@ class DisseminationReport:
 
     items_published: int = 0
     spheres_inserted: int = 0
+    #: Spheres patched in place on their existing entry ids (delta rounds).
+    spheres_updated: int = 0
+    #: Spheres retired from the overlays (delta rounds).
+    spheres_removed: int = 0
     routing_hops: int = 0
     replica_hops: int = 0
     bytes_sent: int = 0
@@ -194,6 +198,8 @@ class DisseminationReport:
         return DisseminationReport(
             items_published=self.items_published + other.items_published,
             spheres_inserted=self.spheres_inserted + other.spheres_inserted,
+            spheres_updated=self.spheres_updated + other.spheres_updated,
+            spheres_removed=self.spheres_removed + other.spheres_removed,
             routing_hops=self.routing_hops + other.routing_hops,
             replica_hops=self.replica_hops + other.replica_hops,
             bytes_sent=self.bytes_sent + other.bytes_sent,

@@ -291,6 +291,7 @@ def run_fig10c(
     n_queries: int = 12,
     max_peers: int = 6,
     levels_used: int = 4,
+    republish: str = "none",
     rng=None,
 ) -> list[RecallSeries]:
     """Recall (vs the *growing* ground truth) as unpublished items arrive.
@@ -299,7 +300,19 @@ def run_fig10c(
     post-hoc to random peers without republishing (the paper inserts up to
     3,600 new items over 8,400 existing — 45% — and loses ≤ ~33% recall).
     The x of each series point is the cumulative new fraction.
+
+    ``republish`` selects the staleness remedy applied after each insert
+    step: ``"none"`` (the paper's scenario — summaries go stale),
+    ``"delta"`` (each mutated peer runs one epoch-delta round, the cheap
+    remedy this reproduction adds), or ``"full"`` (every mutated peer
+    withdraws and republishes from scratch — the expensive baseline).
+    With either remedy the recall series should stay flat instead of
+    degrading.
     """
+    if republish not in ("none", "delta", "full"):
+        raise ValueError(
+            f"republish must be 'none', 'delta' or 'full', got {republish!r}"
+        )
     generator = ensure_rng(rng)
     build_rng, insert_rng, query_rng = spawn_rngs(generator, 3)
     config = HyperMConfig(levels_used=levels_used, n_clusters=n_clusters)
@@ -324,6 +337,10 @@ def run_fig10c(
         target = int(round(fraction * published))
         if target > added:
             added += insert_post_hoc(workload, target - added, rng=insert_rng)
+        if republish != "none" and workload.dirty_peers:
+            for peer_id in sorted(workload.dirty_peers):
+                network.republish_peer(peer_id, full=republish == "full")
+            workload.dirty_peers.clear()
         recalls = []
         for query in queries:
             for radius in radii:

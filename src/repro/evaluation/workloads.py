@@ -42,6 +42,9 @@ class HistogramWorkload:
     item_ids: np.ndarray
     ground_truth: CentralizedIndex
     parts: list = field(default_factory=list)
+    #: Peers mutated since their last publication (maintained by
+    #: :func:`insert_post_hoc`; consumed by republish-enabled experiments).
+    dirty_peers: set = field(default_factory=set)
 
 
 def build_markov_network(
@@ -148,7 +151,10 @@ def insert_post_hoc(
 
     Models documents arriving after overlay creation (Figure 10c). Updates
     the workload's ground truth to include them (queries should find them;
-    the published index does not know them). Returns how many were added.
+    the published index does not know them) and records the receiving
+    peers in ``workload.dirty_peers`` so republish-enabled experiments can
+    run a delta round over exactly the mutated peers. Returns how many
+    were added.
     """
     generator = ensure_rng(rng)
     available = workload.held_out_data.shape[0]
@@ -162,6 +168,7 @@ def insert_post_hoc(
         peer.add_items(
             workload.held_out_data[i : i + 1], workload.held_out_ids[i : i + 1]
         )
+        workload.dirty_peers.add(peer.peer_id)
     workload.held_out_data = workload.held_out_data[count:]
     workload.held_out_ids = workload.held_out_ids[count:]
     workload.ground_truth = CentralizedIndex.from_network(network)

@@ -519,6 +519,49 @@ class LevelStore:
         self._values[row] = None  # release the payload immediately
         self.generation += 1
 
+    def has_entry(self, entry_id: int) -> bool:
+        """True when ``entry_id`` names a live row."""
+        return int(entry_id) in self._row_by_id
+
+    def update_entry(
+        self,
+        entry_id: int,
+        *,
+        key: np.ndarray | None = None,
+        radius: float | None = None,
+        value: object | None = None,
+    ) -> int:
+        """Mutate a live entry in place; returns its row index.
+
+        The delta publish path patches a sphere's radius, item count, or
+        (rarely) key on its *existing* entry id instead of tombstoning and
+        re-inserting, so every replica holding the row sees the update for
+        free — replication is multi-membership of one row. The generation
+        counter bumps exactly as for any other mutation, so outstanding
+        :class:`CandidateSet` snapshots correctly report staleness.
+        """
+        row = self.row_of(entry_id)
+        if key is not None:
+            key = np.asarray(key, dtype=np.float64)
+            if key.shape != (self._dim,):
+                raise ValidationError(
+                    f"key shape {key.shape} does not match store "
+                    f"dimensionality {self._dim}"
+                )
+            self._keys[row] = key
+            self._key_sq[row] = float(key @ key)
+        if radius is not None:
+            radius = float(radius)
+            if radius < 0.0:
+                raise ValidationError(f"radius must be >= 0, got {radius}")
+            self._radii[row] = radius
+        if value is not None:
+            self._values[row] = value
+            self._items[row] = float(getattr(value, "items", 0.0) or 0.0)
+            self._peer_ids[row] = int(getattr(value, "peer_id", -1))
+        self.generation += 1
+        return row
+
     def remove_entry(self, entry_id: int) -> bool:
         """Drop one entry everywhere: every membership forgets its row.
 
@@ -588,7 +631,9 @@ class LevelStore:
         self._peer_ids[:new_size] = self._peer_ids[:size][live]
         self._entry_ids[:new_size] = self._entry_ids[:size][live]
         self._refcounts[:new_size] = self._refcounts[:size][live]
-        self._values = [v for v, keep in zip(self._values, live) if keep]
+        self._values = [
+            v for v, keep in zip(self._values, live, strict=True) if keep
+        ]
         self._live[:new_size] = True
         self._live[new_size:] = False
         self._size = new_size

@@ -27,6 +27,7 @@ class MessageKind(enum.Enum):
     JOIN = "join"
     INSERT = "insert"
     REPLICATE = "replicate"
+    PUBLISH_DELTA = "publish_delta"
     LOOKUP = "lookup"
     RANGE_QUERY = "range_query"
     RESPONSE = "response"

@@ -53,3 +53,44 @@ def replicate_sphere(network, owner_id: int, row: int) -> list[int]:
     if recorder.enabled:
         recorder.add(replica_hops=len(replicas))
     return replicas
+
+
+def extend_replication(network, row: int, holder_ids) -> list[int]:
+    """Grow a row's replica set after its sphere's radius increased.
+
+    The delta publish path patches radii in place; a grown sphere may now
+    overlap zones whose nodes do not yet hold the row. Breadth-first from
+    *all* current holders (their union already covers the old sphere, and
+    the grown intersection region is convex, hence connected through
+    them), each newly covered node receives one ``REPLICATE`` message and
+    adds the same store row. Existing holders are never re-sent anything
+    — that is the saving over tombstone + re-insert. Returns the new
+    replica node ids.
+    """
+    store = network.level_store
+    key = store.key_of(row)
+    radius = store.radius_of(row)
+    fabric = network.fabric
+    size = vector_message_size(key.shape[0], scalars=2)
+    visited = set(holder_ids)
+    added: list[int] = []
+    queue = deque(visited)
+    while queue:
+        current_id = queue.popleft()
+        current = network.node(current_id)
+        for neighbor_id, zones in current.neighbors.items():
+            if neighbor_id in visited:
+                continue
+            if not any(
+                z.intersects_sphere(key, radius) for z in zones
+            ):
+                continue
+            visited.add(neighbor_id)
+            fabric.transmit(current_id, neighbor_id, MessageKind.REPLICATE, size)
+            network.node(neighbor_id).add_row(row)
+            added.append(neighbor_id)
+            queue.append(neighbor_id)
+    recorder = obs_trace.state.recorder
+    if recorder.enabled and added:
+        recorder.add(replica_hops=len(added))
+    return added

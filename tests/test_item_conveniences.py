@@ -60,10 +60,19 @@ class TestChargedWithdrawal:
         network.withdraw_summaries(1)
         assert network.fabric.metrics.total_hops == before
 
-    def test_republish_charges_withdrawal(self, network, rng):
+    def test_full_republish_charges_withdrawal(self, network, rng):
+        network.peers[3].add_items(rng.random((5, 16)), np.arange(900, 905))
+        before = network.fabric.metrics.total_hops
+        report = network.republish_peer(3, full=True)
+        delta = network.fabric.metrics.total_hops - before
+        # Withdrawal traffic + fresh publication traffic both appear.
+        assert delta > report.total_hops
+
+    def test_delta_republish_skips_withdrawal(self, network, rng):
         network.peers[3].add_items(rng.random((5, 16)), np.arange(900, 905))
         before = network.fabric.metrics.total_hops
         report = network.republish_peer(3)
         delta = network.fabric.metrics.total_hops - before
-        # Withdrawal traffic + fresh publication traffic both appear.
-        assert delta > report.total_hops
+        # The delta round's traffic is exactly what the report accounts:
+        # no withdrawal pass precedes it.
+        assert delta == report.total_hops

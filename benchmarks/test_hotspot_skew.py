@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Hotspot skew under a clustered query workload + instrumentation overhead.
+
+Two questions in one run:
+
+1. **Where does dissemination load concentrate?** A Markov-data Hyper-M
+   network is published, then hammered with range queries drawn from a
+   *skewed* subset of the corpus (the few largest clusters, via
+   :func:`repro.datasets.skewed.generate_skewed_dataset`) — the query
+   pattern GeoP2P-style workloads produce. The
+   :class:`repro.obs.loadmap.LoadLedger` fused by ``build_loadmap``
+   yields the headline numbers: the hottest zone's byte volume and the
+   Gini / max-over-mean skew of per-zone traffic. A skewed workload must
+   produce measurable concentration (gate: zone-bytes max/mean >= 1.5).
+
+2. **What does full instrumentation cost?** The same publish+query
+   workload runs twice more — once with every observability plane on
+   (metrics registry, span tracing, flight recorder) and once with all
+   of them off (the null-recorder hot path). Both are timed min-of-N on
+   identically rebuilt networks; the ratio is the full-instrumentation
+   overhead (gate: <= 1.10, i.e. < 10%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/test_hotspot_skew.py
+    PYTHONPATH=src python benchmarks/test_hotspot_skew.py \
+        --max-overhead 0.10 --min-skew 1.5 --out BENCH_hotspot.json
+
+or under pytest (same gates, table saved to ``benchmarks/results``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_hotspot_skew.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.network import HyperMConfig
+from repro.datasets.skewed import generate_skewed_dataset
+from repro.evaluation.workloads import build_markov_network
+from repro.obs.flight import FlightRecorder, flight_recording
+from repro.obs.loadmap import build_loadmap
+from repro.obs.registry import metrics_scope
+from repro.obs.trace import TraceRecorder, tracing
+
+DEFAULTS = {
+    "n_peers": 12,
+    "items_per_peer": 150,
+    "dimensionality": 64,
+    "n_clusters": 6,
+    "levels_used": 3,
+    "seed": 3,
+    "n_queries": 96,
+    "epsilon": 0.5,
+    "hot_clusters": 2,
+    "repeats": 5,
+    "top_k": 5,
+}
+
+
+def _skewed_queries(data: np.ndarray, cfg: dict) -> np.ndarray:
+    """Query points concentrated in the corpus's few largest clusters."""
+    hot = generate_skewed_dataset(
+        data, cfg["hot_clusters"], rng=cfg["seed"] + 1
+    )
+    rng = np.random.default_rng(cfg["seed"] + 2)
+    rows = rng.integers(0, hot.shape[0], size=cfg["n_queries"])
+    return hot[rows]
+
+
+def _run_workload(cfg: dict, *, instrumented: bool):
+    """Publish + skewed queries once; returns (seconds, network, flight).
+
+    Network construction (clustering) happens outside the timed window —
+    the timed region is exactly the dissemination and query traffic the
+    per-transmit instrumentation hooks into.
+    """
+    workload, __ = build_markov_network(
+        n_peers=cfg["n_peers"],
+        items_per_peer=cfg["items_per_peer"],
+        dimensionality=cfg["dimensionality"],
+        config=HyperMConfig(
+            levels_used=cfg["levels_used"], n_clusters=cfg["n_clusters"]
+        ),
+        rng=cfg["seed"],
+        publish=False,
+    )
+    network = workload.network
+    queries = _skewed_queries(workload.data, cfg)
+
+    def timed_body() -> float:
+        # GC pauses land on whichever run happens to cross a collection
+        # threshold; park the collector so both modes time pure work.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            network.publish_all()
+            for query in queries:
+                network.range_query(query, cfg["epsilon"])
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    if instrumented:
+        flight = FlightRecorder()
+        with metrics_scope(), tracing(TraceRecorder()), \
+                flight_recording(flight):
+            elapsed = timed_body()
+    else:
+        flight = None
+        elapsed = timed_body()
+    return elapsed, network, flight
+
+
+def run_benchmark(config: dict | None = None) -> dict:
+    """Measure hotspot skew and instrumentation overhead; return the report."""
+    cfg = {**DEFAULTS, **(config or {})}
+    # One untimed warmup of each mode: first-touch costs (imports, numpy
+    # dispatch caches, branch warmup) otherwise land on whichever mode
+    # happens to run first and swamp the few-percent signal.
+    _run_workload(cfg, instrumented=False)
+    _run_workload(cfg, instrumented=True)
+    # Time the two modes back-to-back inside each repeat (alternating
+    # which goes first) and take the *minimum pairwise ratio*: a shared
+    # machine drifts between repeats, but adjacent timings see the same
+    # load regime, so the cleanest pair gives the honest overhead.
+    baseline_s = []
+    instrumented_s = []
+    ratios = []
+    network = flight = None
+    for repeat in range(cfg["repeats"]):
+        order = (False, True) if repeat % 2 == 0 else (True, False)
+        pair = {}
+        for instrumented in order:
+            elapsed, _net, _flight = _run_workload(
+                cfg, instrumented=instrumented
+            )
+            pair[instrumented] = elapsed
+            if instrumented:
+                network, flight = _net, _flight
+        baseline_s.append(pair[False])
+        instrumented_s.append(pair[True])
+        ratios.append(pair[True] / pair[False])
+
+    loadmap = build_loadmap(network, top_k=cfg["top_k"])
+    zone_bytes = loadmap["skew"]["zone_bytes"]
+    top_zone = loadmap["hotspots"]["zones"][0]
+    histograms = flight.per_op_histograms()
+    return {
+        "benchmark": "hotspot_skew",
+        **{k: cfg[k] for k in sorted(DEFAULTS)},
+        "baseline_s": min(baseline_s),
+        "instrumented_s": min(instrumented_s),
+        "overhead": min(ratios),
+        "max_zone_bytes": int(zone_bytes["max"]),
+        "zone_gini": zone_bytes["gini"],
+        "zone_max_over_mean": zone_bytes["max_over_mean"],
+        "peer_gini": loadmap["skew"]["peer_bytes"]["gini"],
+        "rows_gini": loadmap["skew"]["zone_rows"]["gini"],
+        "top_zone": {
+            "level": top_zone["level"],
+            "node": top_zone["node"],
+            "peer": top_zone["peer"],
+            "bytes": top_zone["bytes"],
+            "query_hits": top_zone["query_hits"],
+        },
+        "flight_edges": flight.snapshot()["edges"],
+        "range_query_ops": histograms.get("range_query", {}).get("ops", 0),
+    }
+
+
+def check_gates(
+    report: dict, *, max_overhead: float, min_skew: float
+) -> list[str]:
+    """Return gate-failure messages (empty means every gate passed)."""
+    failures = []
+    if report["overhead"] > 1.0 + max_overhead:
+        failures.append(
+            f"full instrumentation costs "
+            f"{report['overhead'] - 1.0:+.1%}, above the "
+            f"{max_overhead:.0%} gate"
+        )
+    if report["zone_max_over_mean"] < min_skew:
+        failures.append(
+            f"zone-bytes max/mean {report['zone_max_over_mean']:.2f} "
+            f"below the {min_skew:.1f} skew-detection gate"
+        )
+    if report["max_zone_bytes"] <= 0:
+        failures.append("hottest zone carried no traffic")
+    return failures
+
+
+def _render(report: dict) -> str:
+    top = report["top_zone"]
+    return (
+        "hotspot-skew benchmark — skewed range queries on a Markov corpus\n"
+        f"  hottest zone: level {top['level']} node {top['node']} "
+        f"(peer {top['peer']}) — {top['bytes']} bytes, "
+        f"{top['query_hits']} query hits\n"
+        f"  zone bytes: gini {report['zone_gini']:.3f}, "
+        f"max/mean {report['zone_max_over_mean']:.2f} | "
+        f"peer bytes gini {report['peer_gini']:.3f}\n"
+        f"  instrumentation: {report['baseline_s']:.3f}s off vs "
+        f"{report['instrumented_s']:.3f}s on "
+        f"({report['overhead'] - 1.0:+.1%} overhead, "
+        f"{report['flight_edges']} flight edges)"
+    )
+
+
+def test_hotspot_skew_gates(record_table):
+    """Skewed queries concentrate load; full instrumentation stays < 10%."""
+    report = run_benchmark()
+    record_table("hotspot_skew", _render(report))
+    failures = check_gates(report, max_overhead=0.10, min_skew=1.5)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-overhead", type=float, default=0.10)
+    parser.add_argument("--min-skew", type=float, default=1.5)
+    parser.add_argument("--out", default="BENCH_hotspot.json")
+    args = parser.parse_args(argv)
+    report = run_benchmark()
+    print(_render(report))
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[saved to {args.out}]")
+    failures = check_gates(
+        report, max_overhead=args.max_overhead, min_skew=args.min_skew
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

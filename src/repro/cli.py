@@ -413,6 +413,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="make N peers leave after publishing (exercises the "
         "level stores' tombstone/compaction accounting)",
     )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="run a fully instrumented fig8-style workload; fuse metrics, "
+        "traces, loadmap, and benches into one run report",
+    )
+    _add_common_args(report_parser)
+    report_parser.add_argument(
+        "--queries", type=int, default=None, metavar="N",
+        help="range queries to issue (default: the scale preset's count)",
+    )
+    report_parser.add_argument(
+        "--epsilon", type=float, default=0.5,
+        help="range-query radius in the original space",
+    )
+    report_parser.add_argument(
+        "--top-k", type=int, default=10,
+        help="hotspot ranking depth in the loadmap",
+    )
+    report_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report JSON to this path",
+    )
+    report_parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also export the span trace as JSONL",
+    )
+    report_parser.add_argument(
+        "--flight-out", default=None, metavar="PATH",
+        help="also export the flight-recorder log as JSONL",
+    )
+    report_parser.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="fuse every BENCH_*.json found in this directory",
+    )
     return parser
 
 
@@ -554,6 +589,10 @@ def _cmd_stats(args) -> int:
             ["fabric messages", stats["fabric"]["messages"]],
             ["fabric hops", stats["fabric"]["hops"]],
             ["fabric bytes", stats["fabric"]["bytes"]],
+            ["energy total (µJ)", f"{stats['energy']['total']:.0f}"],
+            ["energy mean/node (µJ)", f"{stats['energy']['mean_node']:.0f}"],
+            ["energy max/node (µJ)", f"{stats['energy']['max_node']:.0f}"],
+            ["energy max/mean", f"{stats['energy']['max_over_mean']:.2f}"],
         ],
         title=f"network stats ({args.scale} scale, churn={departures})",
     ))
@@ -580,6 +619,41 @@ def _cmd_stats(args) -> int:
         rows,
         title="per-level store health",
     ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run the instrumented workload and emit the fused run report.
+
+    Default output is the Markdown rendering; ``--json`` prints the full
+    document (schema-checked in CI by ``python -m repro.obs.schema``).
+    """
+    from repro.evaluation.report import render_markdown, run_report
+
+    params = _common(args)
+    n_queries = (
+        args.queries if args.queries is not None else params["n_queries"]
+    )
+    report = run_report(
+        n_peers=params["n_peers"],
+        items_per_peer=params["items_per_peer"],
+        n_queries=n_queries,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        top_k=args.top_k,
+        bench_dir=args.bench_dir,
+        trace_out=args.trace_out,
+        flight_out=args.flight_out,
+    )
+    report["meta"]["scale"] = args.scale
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, default=_json_default)
+        print(f"report: wrote {args.out}")
+    if getattr(args, "json", False):
+        print(json.dumps(report, indent=2, default=_json_default))
+    else:
+        print(render_markdown(report))
     return 0
 
 
@@ -622,6 +696,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'trace':14s} record one experiment's span tree as JSONL")
         print(f"{'profile':14s} per-phase time/hops/bytes for one experiment")
         print(f"{'stats':14s} network + level-store health for a built network")
+        print(f"{'report':14s} fused run report: metrics + traces + loadmap")
         return 0
     spec = getattr(args, "fault_plan", None)
     if spec:
@@ -639,6 +714,8 @@ def _dispatch(args) -> int:
         return _cmd_profile(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "all":
         from repro.evaluation.summary import (
             render_markdown,

@@ -37,6 +37,7 @@ from repro.core.results import KnnResult, sort_items_by_distance
 from repro.core.scoring import aggregate_scores, level_scores, rank_peers
 from repro.exceptions import QueryError
 from repro.geometry.epsilon import estimate_epsilon_for_k, expected_items
+from repro.obs import flight as obs_flight
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
 from repro.utils.validation import check_vector
@@ -163,7 +164,9 @@ def knn_query(
     recorder = obs_trace.state.recorder
     with recorder.span(
         "query", type="knn", k=k, c=float(c), origin=origin
-    ) as query_span:
+    ) as query_span, obs_flight.state.recorder.operation(
+        "query", type="knn", origin=origin
+    ):
         with recorder.span("translate", levels=len(network.levels)):
             keys = _query_keys(network, query)
         per_level: dict = {}

@@ -10,6 +10,7 @@ from repro.core.peer import HyperMPeer
 from repro.core.results import ClusterRecord, DisseminationReport
 from repro.exceptions import ValidationError
 from repro.net.network import Network
+from repro.obs import flight as obs_flight
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
 from repro.overlay.can import CANNetwork
@@ -320,7 +321,11 @@ class HyperMNetwork:
         """
         peer = self.peers[peer_id]
         recorder = obs_trace.state.recorder
-        with recorder.span("publish", peer=peer_id) as publish_span:
+        with recorder.span(
+            "publish", peer=peer_id
+        ) as publish_span, obs_flight.state.recorder.operation(
+            "publish", peer=peer_id
+        ) as flight_op:
             if summary is None:
                 summary = peer.build_summary(
                     n_clusters=self.config.n_clusters,
@@ -383,6 +388,10 @@ class HyperMNetwork:
                 replica_hops=report.replica_hops,
                 bytes=report.bytes_sent,
             )
+            flight_op.set(
+                items=report.items_published,
+                spheres=report.spheres_inserted,
+            )
         metrics = obs_registry.metrics()
         metrics.counter("publish.operations").inc()
         metrics.counter("publish.items").inc(report.items_published)
@@ -414,7 +423,11 @@ class HyperMNetwork:
         peer = self.peers[peer_id]
         recorder = obs_trace.state.recorder
         metrics = obs_registry.metrics()
-        with recorder.span("publish_delta", peer=peer_id) as delta_span:
+        with recorder.span(
+            "publish_delta", peer=peer_id
+        ) as delta_span, obs_flight.state.recorder.operation(
+            "publish_delta", peer=peer_id
+        ):
             with recorder.span("delta_build", peer=peer_id) as build_span:
                 delta = peer.build_delta(
                     n_clusters=self.config.n_clusters,
@@ -705,5 +718,8 @@ class HyperMNetwork:
                 "hops": self.fabric.metrics.total_hops,
                 "bytes": self.fabric.metrics.total_bytes,
                 "energy": self.fabric.energy.total,
+                "retransmits": self.fabric.metrics.total_retransmits,
+                "duplicates": self.fabric.metrics.total_duplicates,
             },
+            "energy": self.fabric.energy.snapshot(),
         }

@@ -28,6 +28,7 @@ from repro.core.scoring import (
 from repro.exceptions import EmptyNetworkError, QueryError
 from repro.faults.resilience import reliable_send, tombstone_peer
 from repro.net.messages import MessageKind, vector_message_size
+from repro.obs import flight as obs_flight
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
 from repro.utils.validation import check_positive, check_vector
@@ -344,7 +345,9 @@ def range_query(
     fault_info: dict = {}
     with recorder.span(
         "query", type="range", epsilon=float(epsilon), origin=origin
-    ) as query_span:
+    ) as query_span, obs_flight.state.recorder.operation(
+        "query", type="range", origin=origin
+    ) as flight_op:
         aggregated, index_hops = index_phase(
             network, query, epsilon, origin_peer=origin,
             aggregation=aggregation, info=fault_info,
@@ -386,6 +389,11 @@ def range_query(
         )
         degraded = confidence < 1.0
         query_span.set(
+            index_hops=index_hops,
+            items=len(items),
+            peers_contacted=len(answered),
+        )
+        flight_op.set(
             index_hops=index_hops,
             items=len(items),
             peers_contacted=len(answered),

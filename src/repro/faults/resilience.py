@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.exceptions import ValidationError
 from repro.faults.plan import RetryPolicy
 from repro.net.messages import MessageKind
+from repro.obs import flight as obs_flight
 from repro.obs import registry as obs_registry
 
 
@@ -86,6 +87,11 @@ def reliable_send(
             scheduler = fabric.scheduler
             scheduler.run_until(scheduler.now + wait)
             waited += wait
+        if attempt > 1:
+            # Tag the retry's flight edge with its attempt number, so
+            # the routing tree distinguishes backoff re-sends from the
+            # first transmission (no-op when recording is off).
+            obs_flight.state.recorder.mark_retry(attempt)
         message = fabric.transmit(source, destination, kind, size_bytes)
         if message.delivered:
             return SendOutcome(

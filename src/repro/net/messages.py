@@ -55,6 +55,13 @@ class Message:
         fabrics. Query-plane callers must check it and retry or degrade.
     msg_id:
         Process-unique id for tracing.
+    trace_id / parent_op / hop_index:
+        Causal-trace coordinates, stamped by the fabric when a
+        :class:`repro.obs.flight.FlightRecorder` is active: the root
+        operation this message descends from, the innermost operation
+        that sent it, and its hop index within that operation. All
+        ``None`` when flight recording is off (the default) or when the
+        operation was sampled out.
     """
 
     kind: MessageKind
@@ -64,6 +71,9 @@ class Message:
     hops: int = 0
     delivered: bool = True
     msg_id: int = field(default_factory=lambda: next(_message_counter))
+    trace_id: int | None = None
+    parent_op: int | None = None
+    hop_index: int | None = None
 
 
 def vector_message_size(

@@ -10,11 +10,21 @@ from repro.utils.stats import RunningStats
 
 @dataclass
 class OperationMetrics:
-    """Counters for one operation category (insert, query, …)."""
+    """Counters for one operation category (insert, query, …).
+
+    ``messages``/``hops``/``bytes`` count *primary* transmissions only —
+    the per-kind totals the paper's Figure 8 benchmarks report. Traffic a
+    fault injector adds on top goes into its own buckets: link-layer
+    ``retransmits`` (with their bytes) and injected ``duplicates``, so
+    lossy-fabric overhead never inflates the per-kind dissemination cost.
+    """
 
     messages: int = 0
     hops: int = 0
     bytes: int = 0
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    duplicates: int = 0
     per_op_hops: RunningStats = field(default_factory=RunningStats)
 
     def record_transmit(self, size_bytes: int) -> None:
@@ -22,6 +32,15 @@ class OperationMetrics:
         self.messages += 1
         self.hops += 1
         self.bytes += size_bytes
+
+    def record_retransmits(self, count: int, size_bytes: int) -> None:
+        """Record ``count`` link-layer retransmissions of one frame."""
+        self.retransmits += count
+        self.retransmit_bytes += count * size_bytes
+
+    def record_duplicates(self, count: int) -> None:
+        """Record ``count`` injector-duplicated deliveries."""
+        self.duplicates += count
 
     def finish_operation(self, hops: int) -> None:
         """Record a completed logical operation taking ``hops`` total hops."""
@@ -45,6 +64,16 @@ class NetworkMetrics:
         """Record one hop of a message of the given kind."""
         self._bucket(kind).record_transmit(size_bytes)
 
+    def record_retransmits(
+        self, kind: MessageKind, count: int, size_bytes: int
+    ) -> None:
+        """Record fault-injected link retransmissions (separate bucket)."""
+        self._bucket(kind).record_retransmits(count, size_bytes)
+
+    def record_duplicates(self, kind: MessageKind, count: int) -> None:
+        """Record fault-injected duplicate deliveries (separate bucket)."""
+        self._bucket(kind).record_duplicates(count)
+
     def finish_operation(self, kind: MessageKind, hops: int) -> None:
         """Record a completed logical operation of the given kind."""
         self._bucket(kind).finish_operation(hops)
@@ -64,6 +93,16 @@ class NetworkMetrics:
         """All bytes moved across kinds."""
         return sum(b.bytes for b in self.by_kind.values())
 
+    @property
+    def total_retransmits(self) -> int:
+        """All fault-injected link retransmissions across kinds."""
+        return sum(b.retransmits for b in self.by_kind.values())
+
+    @property
+    def total_duplicates(self) -> int:
+        """All fault-injected duplicate deliveries across kinds."""
+        return sum(b.duplicates for b in self.by_kind.values())
+
     def kind(self, kind: MessageKind) -> OperationMetrics:
         """Counters for ``kind`` (zeroed bucket when never used)."""
         return self._bucket(kind)
@@ -72,17 +111,26 @@ class NetworkMetrics:
         """Plain-dict summary for reports.
 
         Keys are sorted by kind name so two runs' snapshots diff cleanly
-        regardless of which message kinds happened to be seen first.
+        regardless of which message kinds happened to be seen first. The
+        fault-overhead buckets (``retransmits``/``retransmit_bytes``/
+        ``duplicates``) appear only when nonzero, so clean-fabric
+        snapshots stay byte-identical to the pre-fault code.
         """
-        return {
-            kind.value: {
+        out: dict[str, dict] = {}
+        for kind, b in sorted(
+            self.by_kind.items(), key=lambda kv: kv[0].value
+        ):
+            row = {
                 "messages": b.messages,
                 "hops": b.hops,
                 "bytes": b.bytes,
                 "mean_hops_per_op": b.per_op_hops.mean,
                 "ops": b.per_op_hops.count,
             }
-            for kind, b in sorted(
-                self.by_kind.items(), key=lambda kv: kv[0].value
-            )
-        }
+            if b.retransmits:
+                row["retransmits"] = b.retransmits
+                row["retransmit_bytes"] = b.retransmit_bytes
+            if b.duplicates:
+                row["duplicates"] = b.duplicates
+            out[kind.value] = row
+        return out

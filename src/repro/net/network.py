@@ -19,7 +19,9 @@ from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 from repro.net.metrics import NetworkMetrics
 from repro.net.node import SimNode
+from repro.obs import flight as obs_flight
 from repro.obs import trace as obs_trace
+from repro.obs.loadmap import LoadLedger
 
 
 class Network:
@@ -50,6 +52,7 @@ class Network:
         self.scheduler = Scheduler()
         self.energy = EnergyLedger(model=energy_model or EnergyModel())
         self.metrics = NetworkMetrics()
+        self.load = LoadLedger()
         self.hop_latency = hop_latency
         self._nodes: dict[int, SimNode] = {}
         self.faults = None
@@ -129,7 +132,7 @@ class Network:
             kind=kind, source=source, destination=destination,
             size_bytes=size_bytes, hops=1,
         )
-        transmissions = 1
+        retransmits = 0
         extra_delay = 0.0
         copies = 1
         if self.faults is not None:
@@ -137,19 +140,43 @@ class Network:
                 kind, source, destination, self.scheduler.now
             )
             message.delivered = verdict.delivered
-            transmissions += verdict.retransmits
+            retransmits = verdict.retransmits
             extra_delay = verdict.extra_delay
             copies = verdict.copies
-        for __ in range(transmissions):
+        duplicates = max(0, copies - 1)
+        # Per-kind totals count the primary frame only (Figure 8's cost);
+        # fault-induced link retransmits go in their own bucket. The radio
+        # still pays for every physical frame, so energy charges all of
+        # them — exactly the pre-split total.
+        for __ in range(1 + retransmits):
             self.energy.charge_hop(source, destination, size_bytes)
-            self.metrics.record_transmit(kind, size_bytes)
+        self.metrics.record_transmit(kind, size_bytes)
+        if retransmits:
+            self.metrics.record_retransmits(kind, retransmits, size_bytes)
+        if duplicates:
+            self.metrics.record_duplicates(kind, duplicates)
+        self.load.charge(
+            source, destination, size_bytes,
+            retransmits=retransmits, duplicates=duplicates,
+            dropped=not message.delivered,
+        )
         recorder = obs_trace.state.recorder
         if recorder.enabled:
-            recorder.add(
-                messages=transmissions,
-                hops=transmissions,
-                bytes=size_bytes * transmissions,
+            counts = {"messages": 1, "hops": 1, "bytes": size_bytes}
+            if retransmits:
+                counts["retransmits"] = retransmits
+                counts["bytes"] += size_bytes * retransmits
+            recorder.add(**counts)
+        flight = obs_flight.state.recorder
+        if flight.enabled:
+            stamp = flight.record(
+                kind.value, source, destination, size_bytes,
+                status="sent" if message.delivered else "dropped",
+                copies=duplicates, retransmits=retransmits,
+                t=self.scheduler.now,
             )
+            if stamp is not None:
+                message.trace_id, message.parent_op, message.hop_index = stamp
         if deliver is not None and message.delivered:
             for __ in range(copies):
                 self.scheduler.schedule_after(

@@ -1,6 +1,6 @@
-"""Observability for the Hyper-M pipeline: metrics, traces, profiles.
+"""Observability for the Hyper-M pipeline: metrics, traces, flight, load.
 
-Three coordinated pieces (see ``docs/observability.md``):
+Coordinated pieces (see ``docs/observability.md``):
 
 * :mod:`repro.obs.registry` — a process-wide but injectable metrics
   registry (counters, gauges, histograms, timers) with deterministic
@@ -12,8 +12,30 @@ Three coordinated pieces (see ``docs/observability.md``):
   the hot path is a single attribute check.
 * :mod:`repro.obs.profile` — per-phase time/hops/bytes aggregation and
   flame summaries, powering ``python -m repro profile <experiment>``.
+* :mod:`repro.obs.flight` — causal message tracing: hop-by-hop edges in
+  a bounded ring buffer, reconstructable into per-operation routing
+  trees (drops, retries, and duplicates appear as tagged edges). Off by
+  default with the same null-recorder idiom as tracing.
+* :mod:`repro.obs.loadmap` — per-zone / per-peer load accounting (the
+  always-on :class:`~repro.obs.loadmap.LoadLedger` on the fabric) and
+  generation-tagged hotspot/skew snapshots via
+  :func:`~repro.obs.loadmap.build_loadmap`.
+* :mod:`repro.obs.schema` — validators for the exported trace/flight
+  JSONL records and ``repro report`` JSON (also a CLI for CI gating).
 """
 
+from repro.obs.flight import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    HopEdge,
+    NullFlightRecorder,
+    Operation,
+    flight_recorder,
+    flight_recording,
+    read_flight_jsonl,
+    set_flight_recorder,
+)
+from repro.obs.loadmap import LoadLedger, NodeLoad, build_loadmap
 from repro.obs.profile import (
     flame_summary,
     phase_rows,
@@ -45,21 +67,33 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HopEdge",
+    "LoadLedger",
     "MetricsRegistry",
+    "NULL_FLIGHT_RECORDER",
     "NULL_RECORDER",
+    "NodeLoad",
+    "NullFlightRecorder",
     "NullRecorder",
+    "Operation",
     "Span",
     "Timer",
     "TraceRecorder",
+    "build_loadmap",
     "flame_summary",
+    "flight_recorder",
+    "flight_recording",
     "metrics",
     "metrics_scope",
     "phase_rows",
     "phase_table",
+    "read_flight_jsonl",
     "read_jsonl",
     "recorder",
+    "set_flight_recorder",
     "set_metrics",
     "set_recorder",
     "span_tree",

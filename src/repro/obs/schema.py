@@ -1,0 +1,271 @@
+"""Validators for the exported observability artefacts.
+
+Three document families cross the process boundary — span-trace JSONL
+(:meth:`repro.obs.trace.TraceRecorder.write_jsonl`), flight JSONL
+(:meth:`repro.obs.flight.FlightRecorder.write_jsonl`), and the fused
+``repro report`` JSON (:func:`repro.evaluation.report.run_report`). CI
+archives all three, so malformed records must fail the build, not
+surface weeks later in a notebook. The checkers here are hand-rolled
+(the container has no ``jsonschema``), field-exact, and cheap: each
+returns a list of human-readable problem strings, empty when valid.
+
+Run as a module to gate files in CI::
+
+    python -m repro.obs.schema report.json --trace trace.jsonl \
+        --flight flight.jsonl
+
+Exit status is nonzero when any document fails, with one problem per
+line on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.flight import EDGE_STATUSES
+
+#: Required fields of one span-trace JSONL record → allowed types.
+TRACE_FIELDS = {
+    "span": str,
+    "id": int,
+    "parent": (int, type(None)),
+    "depth": int,
+    "start": (int, float),
+    "end": (int, float, type(None)),
+    "duration": (int, float),
+    "attrs": dict,
+    "counts": dict,
+}
+
+#: Required fields of one flight-edge JSONL record → allowed types.
+EDGE_FIELDS = {
+    "op": (int, type(None)),
+    "trace": (int, type(None)),
+    "seq": int,
+    "kind": str,
+    "source": int,
+    "dest": int,
+    "bytes": int,
+    "status": str,
+    "attempt": int,
+    "t": (int, float),
+}
+
+#: Required fields of one flight-operation JSONL record → allowed types.
+OP_FIELDS = {
+    "record": str,
+    "op": int,
+    "trace": int,
+    "parent": (int, type(None)),
+    "kind": str,
+    "start": (int, float),
+    "end": (int, float, type(None)),
+    "hops": int,
+    "bytes": int,
+    "drops": int,
+    "retransmits": int,
+    "duplicates": int,
+    "attrs": dict,
+}
+
+#: Top-level sections a ``repro report`` JSON document must carry.
+REPORT_SECTIONS = ("meta", "stats", "metrics", "loadmap", "operations")
+
+#: Required fields of one loadmap zone row (peer rows share the traffic
+#: fields but drop the geometry).
+ZONE_FIELDS = (
+    "level", "node", "zones", "volume", "store_rows", "energy",
+    "msgs_in", "msgs_out", "bytes_in", "bytes_out",
+    "retransmits", "duplicates", "drops", "query_hits",
+)
+
+_SKEW_FIELDS = ("gini", "max", "mean", "max_over_mean")
+
+
+def _check_fields(record: dict, fields: dict, where: str) -> list[str]:
+    problems = []
+    for name, types in fields.items():
+        if name not in record:
+            problems.append(f"{where}: missing field {name!r}")
+        elif not isinstance(record[name], types):
+            problems.append(
+                f"{where}: field {name!r} has type "
+                f"{type(record[name]).__name__}"
+            )
+    return problems
+
+
+def check_trace_record(record: dict, where: str = "trace") -> list[str]:
+    """Problems in one span-trace JSONL record (empty list = valid)."""
+    problems = _check_fields(record, TRACE_FIELDS, where)
+    if not problems and record["depth"] < 0:
+        problems.append(f"{where}: negative depth {record['depth']}")
+    return problems
+
+
+def check_flight_record(record: dict, where: str = "flight") -> list[str]:
+    """Problems in one flight JSONL record (edge or op summary)."""
+    if record.get("record") == "op":
+        problems = _check_fields(record, OP_FIELDS, where)
+        if not problems:
+            for name in ("hops", "bytes", "drops", "retransmits",
+                         "duplicates"):
+                if record[name] < 0:
+                    problems.append(
+                        f"{where}: negative {name} {record[name]}"
+                    )
+        return problems
+    problems = _check_fields(record, EDGE_FIELDS, where)
+    if not problems:
+        if record["status"] not in EDGE_STATUSES:
+            problems.append(
+                f"{where}: unknown status {record['status']!r}"
+            )
+        if record["seq"] < 0:
+            problems.append(f"{where}: negative seq {record['seq']}")
+        if record["attempt"] < 1:
+            problems.append(
+                f"{where}: attempt must be >= 1, got {record['attempt']}"
+            )
+        if record["bytes"] < 0:
+            problems.append(f"{where}: negative bytes {record['bytes']}")
+    return problems
+
+
+def check_jsonl(path, checker) -> list[str]:
+    """Validate every line of a JSONL file with ``checker``."""
+    problems: list[str] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{where}: invalid JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"{where}: record is not an object")
+                continue
+            problems.extend(checker(record, where))
+    return problems
+
+
+def _check_skew(block, where: str) -> list[str]:
+    if not isinstance(block, dict):
+        return [f"{where}: not an object"]
+    problems = []
+    for name in _SKEW_FIELDS:
+        if not isinstance(block.get(name), (int, float)):
+            problems.append(f"{where}: missing numeric {name!r}")
+    return problems
+
+
+def check_loadmap(loadmap: dict, where: str = "loadmap") -> list[str]:
+    """Problems in one :func:`repro.obs.loadmap.build_loadmap` snapshot."""
+    problems = []
+    if not isinstance(loadmap, dict):
+        return [f"{where}: not an object"]
+    for section in ("generations", "zones", "peers", "hotspots", "skew"):
+        if section not in loadmap:
+            problems.append(f"{where}: missing section {section!r}")
+    if problems:
+        return problems
+    for index, row in enumerate(loadmap["zones"]):
+        for name in ZONE_FIELDS:
+            if name not in row:
+                problems.append(
+                    f"{where}.zones[{index}]: missing field {name!r}"
+                )
+    hotspots = loadmap["hotspots"]
+    for group in ("zones", "peers"):
+        if not isinstance(hotspots.get(group), list):
+            problems.append(f"{where}.hotspots.{group}: not a list")
+    for name, block in loadmap["skew"].items():
+        problems.extend(_check_skew(block, f"{where}.skew.{name}"))
+    return problems
+
+
+def check_report(report: dict, where: str = "report") -> list[str]:
+    """Problems in one fused ``repro report`` JSON document."""
+    if not isinstance(report, dict):
+        return [f"{where}: not an object"]
+    problems = []
+    for section in REPORT_SECTIONS:
+        if section not in report:
+            problems.append(f"{where}: missing section {section!r}")
+    if problems:
+        return problems
+    meta = report["meta"]
+    for name in ("command", "seed", "generated_by"):
+        if name not in meta:
+            problems.append(f"{where}.meta: missing field {name!r}")
+    problems.extend(check_loadmap(report["loadmap"], f"{where}.loadmap"))
+    operations = report["operations"]
+    if not isinstance(operations, dict):
+        problems.append(f"{where}.operations: not an object")
+    else:
+        for kind, row in operations.items():
+            for name in ("ops", "hops", "bytes", "hop_counts"):
+                if name not in row:
+                    problems.append(
+                        f"{where}.operations[{kind}]: missing {name!r}"
+                    )
+    if "energy" in report and not isinstance(report["energy"], dict):
+        problems.append(f"{where}.energy: not an object")
+    return problems
+
+
+def check_report_file(path) -> list[str]:
+    """Validate one report JSON file."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc.msg})"]
+    return check_report(report, str(path))
+
+
+def main(argv=None) -> int:
+    """CLI entry point: validate report/trace/flight files; 0 = all valid."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate observability artefacts (report JSON, "
+        "trace/flight JSONL) against the documented schemas.",
+    )
+    parser.add_argument(
+        "report", nargs="?", help="run-report JSON file to validate"
+    )
+    parser.add_argument(
+        "--trace", action="append", default=[],
+        help="span-trace JSONL file (repeatable)",
+    )
+    parser.add_argument(
+        "--flight", action="append", default=[],
+        help="flight-recorder JSONL file (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.report and not args.trace and not args.flight:
+        parser.error("nothing to validate")
+    problems: list[str] = []
+    if args.report:
+        problems.extend(check_report_file(args.report))
+    for path in args.trace:
+        problems.extend(check_jsonl(path, check_trace_record))
+    for path in args.flight:
+        problems.extend(check_jsonl(path, check_flight_record))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        checked = len(args.trace) + len(args.flight) + bool(args.report)
+        print(f"schema OK ({checked} file(s))")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ from repro.net.messages import (
     vector_message_size,
 )
 from repro.net.network import Network
+from repro.obs import flight as obs_flight
 from repro.obs import trace as obs_trace
 from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
 from repro.overlay.can.node import CANNode
@@ -125,13 +126,14 @@ class CANNetwork(Overlay):
             check_vector(point, "point", dim=self._dim), "point"
         )
         entry_id = int(self._rng.choice(list(self._nodes)))
-        owner_id, path = route_to_owner(self, entry_id, point)
-        size = vector_message_size(self._dim)
-        prev = entry_id
-        for hop_id in path:
-            self.fabric.transmit(prev, hop_id, MessageKind.JOIN, size)
-            prev = hop_id
-        self.fabric.finish_operation(MessageKind.JOIN, len(path))
+        with obs_flight.state.recorder.operation("join", node=node_id):
+            owner_id, path = route_to_owner(self, entry_id, point)
+            size = vector_message_size(self._dim)
+            prev = entry_id
+            for hop_id in path:
+                self.fabric.transmit(prev, hop_id, MessageKind.JOIN, size)
+                prev = hop_id
+            self.fabric.finish_operation(MessageKind.JOIN, len(path))
 
         owner = self.node(owner_id)
         if len(owner.zones) > 1:
@@ -347,23 +349,26 @@ class CANNetwork(Overlay):
         """
         key = check_unit_cube(check_vector(key, "key", dim=self._dim), "key")
         check_positive(radius, "radius", strict=False)
-        owner_id, path = route_to_owner(self, origin, key)
-        size = vector_message_size(self._dim, scalars=2)
-        prev = origin
-        for hop_id in path:
-            self.fabric.transmit(prev, hop_id, MessageKind.INSERT, size)
-            prev = hop_id
-        row = self.level_store.add(key, float(radius), value)
-        self.node(owner_id).add_row(row)
-        replicas: list[int] = []
-        if radius > 0.0:
-            from repro.overlay.can.replication import replicate_sphere
+        with obs_flight.state.recorder.operation("insert", origin=origin):
+            owner_id, path = route_to_owner(self, origin, key)
+            size = vector_message_size(self._dim, scalars=2)
+            prev = origin
+            for hop_id in path:
+                self.fabric.transmit(prev, hop_id, MessageKind.INSERT, size)
+                prev = hop_id
+            row = self.level_store.add(key, float(radius), value)
+            self.node(owner_id).add_row(row)
+            replicas: list[int] = []
+            if radius > 0.0:
+                from repro.overlay.can.replication import replicate_sphere
 
-            replicas = replicate_sphere(self, owner_id, row)
-        receipt = InsertReceipt(
-            owner=owner_id, routing_hops=len(path), replicas=len(replicas)
-        )
-        self.fabric.finish_operation(MessageKind.INSERT, receipt.total_hops)
+                replicas = replicate_sphere(self, owner_id, row)
+            receipt = InsertReceipt(
+                owner=owner_id, routing_hops=len(path), replicas=len(replicas)
+            )
+            self.fabric.finish_operation(
+                MessageKind.INSERT, receipt.total_hops
+            )
         return receipt
 
     def patch_entries(
@@ -385,47 +390,48 @@ class CANNetwork(Overlay):
         """
         if not patches:
             return (0, 0)
-        store = self.level_store
-        rows = [store.row_of(entry_id) for entry_id, __, __ in patches]
-        row_set = set(rows)
-        holders_by_row: dict[int, list[int]] = {row: [] for row in row_set}
-        holder_counts: dict[int, int] = {}
-        for node_id in self._nodes:
-            membership = self.node(node_id).membership
-            held = [row for row in row_set if row in membership]
-            if not held:
-                continue
-            holder_counts[node_id] = len(held)
-            for row in held:
-                holders_by_row[row].append(node_id)
-        patch_hops = 0
-        for holder_id, count in holder_counts.items():
-            if holder_id == origin:
-                continue  # patching a locally held row is free
-            size = HEADER_BYTES + 3 * BYTES_PER_SCALAR * count
-            self.fabric.transmit(
-                origin, holder_id, MessageKind.PUBLISH_DELTA, size
-            )
-            patch_hops += 1
-        grown: list[int] = []
-        for (entry_id, radius, value), row in zip(
-            patches, rows, strict=True
-        ):
-            if float(radius) > store.radius_of(row):
-                grown.append(row)
-            store.update_entry(entry_id, radius=radius, value=value)
-        replica_hops = 0
-        if grown:
-            from repro.overlay.can.replication import extend_replication
-
-            for row in grown:
-                added = extend_replication(
-                    self, row, holders_by_row[row] or [origin]
+        with obs_flight.state.recorder.operation("patch", origin=origin):
+            store = self.level_store
+            rows = [store.row_of(entry_id) for entry_id, __, __ in patches]
+            row_set = set(rows)
+            holders_by_row: dict[int, list[int]] = {row: [] for row in row_set}
+            holder_counts: dict[int, int] = {}
+            for node_id in self._nodes:
+                membership = self.node(node_id).membership
+                held = [row for row in row_set if row in membership]
+                if not held:
+                    continue
+                holder_counts[node_id] = len(held)
+                for row in held:
+                    holders_by_row[row].append(node_id)
+            patch_hops = 0
+            for holder_id, count in holder_counts.items():
+                if holder_id == origin:
+                    continue  # patching a locally held row is free
+                size = HEADER_BYTES + 3 * BYTES_PER_SCALAR * count
+                self.fabric.transmit(
+                    origin, holder_id, MessageKind.PUBLISH_DELTA, size
                 )
-                replica_hops += len(added)
-        self.fabric.finish_operation(
-            MessageKind.PUBLISH_DELTA, patch_hops + replica_hops
-        )
+                patch_hops += 1
+            grown: list[int] = []
+            for (entry_id, radius, value), row in zip(
+                patches, rows, strict=True
+            ):
+                if float(radius) > store.radius_of(row):
+                    grown.append(row)
+                store.update_entry(entry_id, radius=radius, value=value)
+            replica_hops = 0
+            if grown:
+                from repro.overlay.can.replication import extend_replication
+
+                for row in grown:
+                    added = extend_replication(
+                        self, row, holders_by_row[row] or [origin]
+                    )
+                    replica_hops += len(added)
+            self.fabric.finish_operation(
+                MessageKind.PUBLISH_DELTA, patch_hops + replica_hops
+            )
         return (patch_hops, replica_hops)
 
     def retract_entries(self, origin: int, entry_ids: list) -> int:
@@ -439,40 +445,42 @@ class CANNetwork(Overlay):
         """
         if not entry_ids:
             return 0
-        store = self.level_store
-        rows = {
-            store.row_of(entry_id)
-            for entry_id in entry_ids
-            if store.has_entry(entry_id)
-        }
-        hops = 0
-        for node_id in self._nodes:
-            membership = self.node(node_id).membership
-            count = sum(1 for row in rows if row in membership)
-            if count == 0 or node_id == origin:
-                continue
-            size = HEADER_BYTES + BYTES_PER_SCALAR * count
-            self.fabric.transmit(
-                origin, node_id, MessageKind.PUBLISH_DELTA, size
-            )
-            hops += 1
-        for entry_id in entry_ids:
-            store.remove_entry(entry_id)
-        store.maybe_compact()
-        self.fabric.finish_operation(MessageKind.PUBLISH_DELTA, hops)
+        with obs_flight.state.recorder.operation("retract", origin=origin):
+            store = self.level_store
+            rows = {
+                store.row_of(entry_id)
+                for entry_id in entry_ids
+                if store.has_entry(entry_id)
+            }
+            hops = 0
+            for node_id in self._nodes:
+                membership = self.node(node_id).membership
+                count = sum(1 for row in rows if row in membership)
+                if count == 0 or node_id == origin:
+                    continue
+                size = HEADER_BYTES + BYTES_PER_SCALAR * count
+                self.fabric.transmit(
+                    origin, node_id, MessageKind.PUBLISH_DELTA, size
+                )
+                hops += 1
+            for entry_id in entry_ids:
+                store.remove_entry(entry_id)
+            store.maybe_compact()
+            self.fabric.finish_operation(MessageKind.PUBLISH_DELTA, hops)
         return hops
 
     def lookup(self, origin: int, key: np.ndarray) -> RangeReceipt:
         """Point query: entries at the owner of ``key`` whose spheres contain it."""
         key = check_vector(key, "key", dim=self._dim)
-        owner_id, path = route_to_owner(self, origin, key)
-        size = vector_message_size(self._dim)
-        prev = origin
-        for hop_id in path:
-            self.fabric.transmit(prev, hop_id, MessageKind.LOOKUP, size)
-            prev = hop_id
-        entries = self.node(owner_id).entries_intersecting(key, 0.0)
-        self.fabric.finish_operation(MessageKind.LOOKUP, len(path))
+        with obs_flight.state.recorder.operation("lookup", origin=origin):
+            owner_id, path = route_to_owner(self, origin, key)
+            size = vector_message_size(self._dim)
+            prev = origin
+            for hop_id in path:
+                self.fabric.transmit(prev, hop_id, MessageKind.LOOKUP, size)
+                prev = hop_id
+            entries = self.node(owner_id).entries_intersecting(key, 0.0)
+            self.fabric.finish_operation(MessageKind.LOOKUP, len(path))
         return RangeReceipt(
             entries=entries, routing_hops=len(path), nodes_visited=[owner_id]
         )
@@ -490,40 +498,50 @@ class CANNetwork(Overlay):
         """
         center = check_vector(center, "center", dim=self._dim)
         check_positive(radius, "radius", strict=False)
-        owner_id, path = route_to_owner(self, origin, center)
-        size = vector_message_size(self._dim, scalars=1)
-        prev = origin
-        for hop_id in path:
-            self.fabric.transmit(prev, hop_id, MessageKind.RANGE_QUERY, size)
-            prev = hop_id
-
-        # One store-wide intersection pass per query; each visited node
-        # then filters its membership with a boolean gather.
-        mask = self.level_store.intersection_mask(center, radius)
-        row_arrays: list[np.ndarray] = []
-        visited = {owner_id}
-        order = [owner_id]
-        flood_hops = 0
-        queue = deque([owner_id])
-        while queue:
-            current_id = queue.popleft()
-            current = self.node(current_id)
-            row_arrays.append(current.rows_matching(mask))
-            for neighbor_id, zones in current.neighbors.items():
-                if neighbor_id in visited:
-                    continue
-                if not any(z.intersects_sphere(center, radius) for z in zones):
-                    continue
-                visited.add(neighbor_id)
-                order.append(neighbor_id)
+        with obs_flight.state.recorder.operation(
+            "range_query", origin=origin
+        ) as flight_op:
+            owner_id, path = route_to_owner(self, origin, center)
+            size = vector_message_size(self._dim, scalars=1)
+            prev = origin
+            for hop_id in path:
                 self.fabric.transmit(
-                    current_id, neighbor_id, MessageKind.RANGE_QUERY, size
+                    prev, hop_id, MessageKind.RANGE_QUERY, size
                 )
-                flood_hops += 1
-                queue.append(neighbor_id)
-        self.fabric.finish_operation(
-            MessageKind.RANGE_QUERY, len(path) + flood_hops
-        )
+                prev = hop_id
+
+            # One store-wide intersection pass per query; each visited node
+            # then filters its membership with a boolean gather.
+            mask = self.level_store.intersection_mask(center, radius)
+            row_arrays: list[np.ndarray] = []
+            visited = {owner_id}
+            order = [owner_id]
+            flood_hops = 0
+            queue = deque([owner_id])
+            while queue:
+                current_id = queue.popleft()
+                current = self.node(current_id)
+                row_arrays.append(current.rows_matching(mask))
+                for neighbor_id, zones in current.neighbors.items():
+                    if neighbor_id in visited:
+                        continue
+                    if not any(
+                        z.intersects_sphere(center, radius) for z in zones
+                    ):
+                        continue
+                    visited.add(neighbor_id)
+                    order.append(neighbor_id)
+                    self.fabric.transmit(
+                        current_id, neighbor_id, MessageKind.RANGE_QUERY, size
+                    )
+                    flood_hops += 1
+                    queue.append(neighbor_id)
+            self.fabric.finish_operation(
+                MessageKind.RANGE_QUERY, len(path) + flood_hops
+            )
+            flight_op.set(zones_visited=len(order))
+        for node_id in order:
+            self.fabric.load.note_query_hit(node_id)
         recorder = obs_trace.state.recorder
         if recorder.enabled:
             recorder.add(

@@ -85,6 +85,28 @@ class RunningStats:
         return merged
 
 
+def gini(values) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = skewed).
+
+    The loadmap's headline skew statistic: how unevenly traffic, rows, or
+    energy are spread across zones/peers. Empty and all-zero samples are
+    perfectly equal (0.0); negative values are rejected.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr < 0):
+        raise ValueError("gini is defined for non-negative values only")
+    total = arr.sum()
+    if total == 0.0:
+        return 0.0
+    ranks = np.arange(1, arr.size + 1, dtype=np.float64)
+    return float(
+        (2.0 * np.dot(ranks, arr) / (arr.size * total))
+        - (arr.size + 1.0) / arr.size
+    )
+
+
 def summarize(values, *, percentiles: tuple[float, ...] = (50.0, 95.0, 99.0)) -> dict:
     """Summarise a sample into mean/std/min/max and the given percentiles.
 

@@ -1,0 +1,120 @@
+"""Round-trip and determinism guarantees of the span-trace export plane.
+
+The JSONL files :meth:`TraceRecorder.write_jsonl` emits are CI
+artefacts: they must load back into exactly the records that were
+dumped, validate against :mod:`repro.obs.schema`, and — under an
+injectable clock — come out byte-identical run after run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.schema import check_trace_record
+from repro.obs.trace import TraceRecorder, read_jsonl
+
+
+class _Ticker:
+    """Deterministic injectable clock: 0.0, 1.0, 2.0, ..."""
+
+    def __init__(self) -> None:
+        self.now = -1.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def _record_workload(rec: TraceRecorder) -> None:
+    with rec.span("publish", peer=1):
+        with rec.span("dwt"):
+            rec.add(bytes=128)
+        for level in range(2):
+            with rec.span("can_insert", level=level):
+                rec.add(hops=3, messages=3)
+    with rec.span("query", origin=5):
+        rec.annotate(items=7)
+
+
+class TestRoundTrip:
+    def test_dumps_matches_file_content(self, tmp_path):
+        rec = TraceRecorder(clock=_Ticker())
+        _record_workload(rec)
+        path = tmp_path / "trace.jsonl"
+        assert rec.write_jsonl(path) == len(rec.spans)
+        assert path.read_text() == rec.dumps_jsonl() + "\n"
+
+    def test_read_jsonl_identity(self, tmp_path):
+        rec = TraceRecorder(clock=_Ticker())
+        _record_workload(rec)
+        path = tmp_path / "trace.jsonl"
+        rec.write_jsonl(path)
+        assert read_jsonl(path) == rec.to_records()
+
+    def test_records_validate_against_schema(self):
+        rec = TraceRecorder(clock=_Ticker())
+        _record_workload(rec)
+        for record in rec.to_records():
+            assert check_trace_record(record) == []
+
+    def test_empty_recorder_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert TraceRecorder(clock=_Ticker()).write_jsonl(path) == 0
+        assert path.read_text() == ""
+        assert read_jsonl(path) == []
+
+    def test_counts_and_attrs_survive_the_trip(self, tmp_path):
+        rec = TraceRecorder(clock=_Ticker())
+        _record_workload(rec)
+        path = tmp_path / "trace.jsonl"
+        rec.write_jsonl(path)
+        by_name = {r["span"]: r for r in read_jsonl(path)}
+        # add() accumulates onto every open ancestor.
+        assert by_name["publish"]["counts"]["bytes"] == 128
+        assert by_name["publish"]["counts"]["hops"] == 6
+        assert by_name["dwt"]["counts"] == {"bytes": 128}
+        assert by_name["query"]["attrs"] == {"origin": 5, "items": 7}
+
+
+class TestDeterminism:
+    def test_injected_clock_gives_byte_stable_output(self):
+        def run() -> str:
+            rec = TraceRecorder(clock=_Ticker())
+            _record_workload(rec)
+            return rec.dumps_jsonl()
+
+        assert run() == run()
+
+    def test_lines_are_key_sorted_json(self):
+        rec = TraceRecorder(clock=_Ticker())
+        _record_workload(rec)
+        for line in rec.dumps_jsonl().splitlines():
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+
+class TestFlameDepthClamp:
+    def _deep_recorder(self) -> TraceRecorder:
+        rec = TraceRecorder(clock=_Ticker())
+        with rec.span("alpha"):
+            with rec.span("bravo"):
+                with rec.span("charlie"):
+                    with rec.span("delta"):
+                        pass
+        return rec
+
+    def test_unclamped_shows_all_levels(self):
+        flame = self._deep_recorder().flame()
+        for name in ("alpha", "bravo", "charlie", "delta"):
+            assert name in flame
+
+    def test_max_depth_clamps_deep_spans(self):
+        # max_depth counts levels kept: 2 keeps depths 0 and 1.
+        flame = self._deep_recorder().flame(max_depth=2)
+        assert "alpha" in flame and "bravo" in flame
+        assert "charlie" not in flame and "delta" not in flame
+
+    def test_depth_one_keeps_roots_only(self):
+        flame = self._deep_recorder().flame(max_depth=1)
+        assert "alpha" in flame
+        assert "bravo" not in flame

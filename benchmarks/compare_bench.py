@@ -27,7 +27,10 @@ import json
 import sys
 
 #: Headline ratio fields compared when present in both reports.
-SPEEDUP_FIELDS = ("speedup", "list_speedup", "bytes_speedup", "hops_speedup")
+SPEEDUP_FIELDS = (
+    "speedup", "list_speedup", "bytes_speedup", "hops_speedup",
+    "adapt_skew_speedup",
+)
 
 
 def compare(

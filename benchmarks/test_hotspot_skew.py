@@ -20,11 +20,23 @@ Two questions in one run:
    identically rebuilt networks; the ratio is the full-instrumentation
    overhead (gate: <= 1.10, i.e. < 10%).
 
+3. **Does adaptation fix the hotspot?** The identical publish+query
+   workload runs once more with an
+   :class:`repro.overlay.adapt.AdaptationController` attached — zone
+   rebalancing, replication retuning, and quality-scored multicast
+   driven by the loadmap. Gates: the adapted zone-bytes max/mean must
+   improve at least 2x over the clean run and land at <= 8, with
+   adapted Gini <= 0.6. Query results are identical in both arms
+   (property-tested in ``tests/test_overlay_adapt.py``), so this is
+   pure load-shaping.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/test_hotspot_skew.py
     PYTHONPATH=src python benchmarks/test_hotspot_skew.py \
-        --max-overhead 0.10 --min-skew 1.5 --out BENCH_hotspot.json
+        --max-overhead 0.10 --min-skew 1.5 --max-adapted-skew 8.0 \
+        --max-adapted-gini 0.6 --min-adapt-improvement 2.0 \
+        --out BENCH_hotspot.json
 
 or under pytest (same gates, table saved to ``benchmarks/results``)::
 
@@ -42,12 +54,13 @@ import time
 import numpy as np
 
 from repro.core.network import HyperMConfig
-from repro.datasets.skewed import generate_skewed_dataset
+from repro.evaluation.adaptation import skewed_query_points
 from repro.evaluation.workloads import build_markov_network
 from repro.obs.flight import FlightRecorder, flight_recording
 from repro.obs.loadmap import build_loadmap
 from repro.obs.registry import metrics_scope
 from repro.obs.trace import TraceRecorder, tracing
+from repro.overlay.adapt import AdaptConfig
 
 DEFAULTS = {
     "n_peers": 12,
@@ -61,17 +74,15 @@ DEFAULTS = {
     "hot_clusters": 2,
     "repeats": 5,
     "top_k": 5,
+    "adapt_epoch_queries": 16,
 }
 
 
 def _skewed_queries(data: np.ndarray, cfg: dict) -> np.ndarray:
     """Query points concentrated in the corpus's few largest clusters."""
-    hot = generate_skewed_dataset(
-        data, cfg["hot_clusters"], rng=cfg["seed"] + 1
+    return skewed_query_points(
+        data, cfg["hot_clusters"], cfg["n_queries"], cfg["seed"]
     )
-    rng = np.random.default_rng(cfg["seed"] + 2)
-    rows = rng.integers(0, hot.shape[0], size=cfg["n_queries"])
-    return hot[rows]
 
 
 def _run_workload(cfg: dict, *, instrumented: bool):
@@ -119,6 +130,37 @@ def _run_workload(cfg: dict, *, instrumented: bool):
     return elapsed, network, flight
 
 
+def _run_adapted(cfg: dict) -> dict:
+    """The same workload with the adaptation control loop attached."""
+    workload, __ = build_markov_network(
+        n_peers=cfg["n_peers"],
+        items_per_peer=cfg["items_per_peer"],
+        dimensionality=cfg["dimensionality"],
+        config=HyperMConfig(
+            levels_used=cfg["levels_used"], n_clusters=cfg["n_clusters"]
+        ),
+        rng=cfg["seed"],
+        publish=False,
+    )
+    network = workload.network
+    network.enable_adaptation(
+        AdaptConfig(epoch_queries=cfg["adapt_epoch_queries"])
+    )
+    queries = _skewed_queries(workload.data, cfg)
+    network.publish_all()
+    for query in queries:
+        network.range_query(query, cfg["epsilon"])
+    loadmap = build_loadmap(network, top_k=cfg["top_k"])
+    zone_bytes = loadmap["skew"]["zone_bytes"]
+    decisions = network.adaptation.snapshot()["decisions"]
+    return {
+        "zone_gini": zone_bytes["gini"],
+        "zone_max_over_mean": zone_bytes["max_over_mean"],
+        "max_zone_bytes": int(zone_bytes["max"]),
+        "decisions": decisions,
+    }
+
+
 def run_benchmark(config: dict | None = None) -> dict:
     """Measure hotspot skew and instrumentation overhead; return the report."""
     cfg = {**DEFAULTS, **(config or {})}
@@ -153,6 +195,12 @@ def run_benchmark(config: dict | None = None) -> dict:
     zone_bytes = loadmap["skew"]["zone_bytes"]
     top_zone = loadmap["hotspots"]["zones"][0]
     histograms = flight.per_op_histograms()
+    adapted = _run_adapted(cfg)
+    improvement = (
+        zone_bytes["max_over_mean"] / adapted["zone_max_over_mean"]
+        if adapted["zone_max_over_mean"] > 0
+        else 0.0
+    )
     return {
         "benchmark": "hotspot_skew",
         **{k: cfg[k] for k in sorted(DEFAULTS)},
@@ -164,6 +212,27 @@ def run_benchmark(config: dict | None = None) -> dict:
         "zone_max_over_mean": zone_bytes["max_over_mean"],
         "peer_gini": loadmap["skew"]["peer_bytes"]["gini"],
         "rows_gini": loadmap["skew"]["zone_rows"]["gini"],
+        "adapted_zone_gini": adapted["zone_gini"],
+        "adapted_zone_max_over_mean": adapted["zone_max_over_mean"],
+        "adapted_max_zone_bytes": adapted["max_zone_bytes"],
+        "adapt_splits": adapted["decisions"]["split"],
+        "adapt_boosts": adapted["decisions"]["boost"],
+        "adapt_sheds": adapted["decisions"]["shed"],
+        "adapt_skew_speedup": improvement,
+        "rows": [
+            {
+                "mode": "clean",
+                "zone_gini": zone_bytes["gini"],
+                "zone_max_over_mean": zone_bytes["max_over_mean"],
+                "max_zone_bytes": int(zone_bytes["max"]),
+            },
+            {
+                "mode": "adapted",
+                "zone_gini": adapted["zone_gini"],
+                "zone_max_over_mean": adapted["zone_max_over_mean"],
+                "max_zone_bytes": adapted["max_zone_bytes"],
+            },
+        ],
         "top_zone": {
             "level": top_zone["level"],
             "node": top_zone["node"],
@@ -177,7 +246,13 @@ def run_benchmark(config: dict | None = None) -> dict:
 
 
 def check_gates(
-    report: dict, *, max_overhead: float, min_skew: float
+    report: dict,
+    *,
+    max_overhead: float,
+    min_skew: float,
+    max_adapted_skew: float = 8.0,
+    max_adapted_gini: float = 0.6,
+    min_adapt_improvement: float = 2.0,
 ) -> list[str]:
     """Return gate-failure messages (empty means every gate passed)."""
     failures = []
@@ -194,6 +269,23 @@ def check_gates(
         )
     if report["max_zone_bytes"] <= 0:
         failures.append("hottest zone carried no traffic")
+    if report["adapted_zone_max_over_mean"] > max_adapted_skew:
+        failures.append(
+            f"adapted zone-bytes max/mean "
+            f"{report['adapted_zone_max_over_mean']:.2f} above the "
+            f"{max_adapted_skew:.1f} gate"
+        )
+    if report["adapted_zone_gini"] > max_adapted_gini:
+        failures.append(
+            f"adapted zone-bytes gini {report['adapted_zone_gini']:.3f} "
+            f"above the {max_adapted_gini:.2f} gate"
+        )
+    if report["adapt_skew_speedup"] < min_adapt_improvement:
+        failures.append(
+            f"adaptation improved zone skew only "
+            f"{report['adapt_skew_speedup']:.2f}x, below the "
+            f"{min_adapt_improvement:.1f}x gate"
+        )
     return failures
 
 
@@ -207,6 +299,11 @@ def _render(report: dict) -> str:
         f"  zone bytes: gini {report['zone_gini']:.3f}, "
         f"max/mean {report['zone_max_over_mean']:.2f} | "
         f"peer bytes gini {report['peer_gini']:.3f}\n"
+        f"  adapted: gini {report['adapted_zone_gini']:.3f}, "
+        f"max/mean {report['adapted_zone_max_over_mean']:.2f} "
+        f"({report['adapt_skew_speedup']:.2f}x better; "
+        f"{report['adapt_splits']} splits, {report['adapt_boosts']} boosts, "
+        f"{report['adapt_sheds']} sheds)\n"
         f"  instrumentation: {report['baseline_s']:.3f}s off vs "
         f"{report['instrumented_s']:.3f}s on "
         f"({report['overhead'] - 1.0:+.1%} overhead, "
@@ -215,10 +312,18 @@ def _render(report: dict) -> str:
 
 
 def test_hotspot_skew_gates(record_table):
-    """Skewed queries concentrate load; full instrumentation stays < 10%."""
+    """Skewed queries concentrate load; instrumentation < 10%; adaptation
+    flattens the hotspot at least 2x (and under the absolute skew caps)."""
     report = run_benchmark()
     record_table("hotspot_skew", _render(report))
-    failures = check_gates(report, max_overhead=0.10, min_skew=1.5)
+    failures = check_gates(
+        report,
+        max_overhead=0.10,
+        min_skew=1.5,
+        max_adapted_skew=8.0,
+        max_adapted_gini=0.6,
+        min_adapt_improvement=2.0,
+    )
     assert not failures, "; ".join(failures)
 
 
@@ -226,6 +331,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--max-overhead", type=float, default=0.10)
     parser.add_argument("--min-skew", type=float, default=1.5)
+    parser.add_argument("--max-adapted-skew", type=float, default=8.0)
+    parser.add_argument("--max-adapted-gini", type=float, default=0.6)
+    parser.add_argument("--min-adapt-improvement", type=float, default=2.0)
     parser.add_argument("--out", default="BENCH_hotspot.json")
     args = parser.parse_args(argv)
     report = run_benchmark()
@@ -235,7 +343,12 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     print(f"[saved to {args.out}]")
     failures = check_gates(
-        report, max_overhead=args.max_overhead, min_skew=args.min_skew
+        report,
+        max_overhead=args.max_overhead,
+        min_skew=args.min_skew,
+        max_adapted_skew=args.max_adapted_skew,
+        max_adapted_gini=args.max_adapted_gini,
+        min_adapt_improvement=args.min_adapt_improvement,
     )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -33,6 +33,7 @@ import sys
 import warnings
 from dataclasses import asdict, dataclass, field, is_dataclass
 
+from repro.evaluation.adaptation import run_adaptation
 from repro.evaluation.dissemination import (
     run_fig8a,
     run_fig8b,
@@ -295,6 +296,26 @@ def _build_faults(args) -> ExperimentOutput:
     return ExperimentOutput("faults", _records(rows), text)
 
 
+def _build_adapt(args) -> ExperimentOutput:
+    rows = run_adaptation(**_filter_kwargs(run_adaptation, _common(
+        args,
+        n_queries=getattr(args, "queries", None) or 48,
+        epoch_queries=getattr(args, "epoch_queries", 12),
+    )))
+    text = rows_to_table(
+        rows,
+        title="Load adaptation — hotspot skew, clean vs adapted",
+    )
+    clean, adapted = rows
+    if adapted.zone_max_over_mean > 0:
+        text += (
+            f"\nzone-bytes max/mean improved "
+            f"{clean.zone_max_over_mean / adapted.zone_max_over_mean:.2f}x "
+            f"(identical query results in both arms)"
+        )
+    return ExperimentOutput("adapt", _records(rows), text)
+
+
 def _build_construction(args) -> ExperimentOutput:
     from repro.evaluation.construction import run_construction_comparison
 
@@ -347,6 +368,10 @@ _COMMANDS = {
         _build_faults,
         "resilience: range recall under message loss and peer crashes",
     ),
+    "adapt": (
+        _build_adapt,
+        "load adaptation: hotspot skew with the control loop on vs off",
+    ),
 }
 
 
@@ -371,6 +396,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common_args(cmd)
         if name == "faults":
             _add_fault_args(cmd)
+        if name == "adapt":
+            _add_adapt_args(cmd)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -451,6 +478,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_adapt_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--queries", type=int, default=None, metavar="N",
+        help="skewed range queries per arm (default: 48)",
+    )
+    parser.add_argument(
+        "--epoch-queries", type=int, default=12, metavar="N",
+        help="queries per adaptation epoch (default: 12)",
+    )
+
+
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--loss", type=float, nargs="+", default=None, metavar="P",
@@ -508,6 +546,13 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         help="run the experiment on a lossy fabric: a FaultPlan spec like "
         "'loss=0.1,delay=0.005,dup=0.01,seed=3' applied to every network "
         "the command builds (see docs/faults.md)",
+    )
+    parser.add_argument(
+        "--adapt",
+        action="store_true",
+        help="enable the load-adaptation control loop on every network "
+        "the command builds (zone rebalancing, replication retuning, "
+        "quality-scored multicast; see docs/architecture.md)",
     )
 
 
@@ -698,6 +743,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'stats':14s} network + level-store health for a built network")
         print(f"{'report':14s} fused run report: metrics + traces + loadmap")
         return 0
+    if getattr(args, "adapt", False):
+        # Ambient adaptation: every HyperMNetwork the command builds
+        # attaches a controller (see repro.overlay.adapt.adapt_scope).
+        from repro.overlay.adapt import AdaptConfig, adapt_scope
+
+        with adapt_scope(AdaptConfig()):
+            return _run_with_faults(args)
+    return _run_with_faults(args)
+
+
+def _run_with_faults(args) -> int:
     spec = getattr(args, "fault_plan", None)
     if spec:
         # Ambient fault plan: every Network the command builds installs

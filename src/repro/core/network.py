@@ -13,6 +13,7 @@ from repro.net.network import Network
 from repro.obs import flight as obs_flight
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
+from repro.overlay.adapt import AdaptationController, active_adapt_config
 from repro.overlay.can import CANNetwork
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.wavelets.bounds import key_space_radius, to_unit_cube
@@ -125,11 +126,29 @@ class HyperMNetwork:
             )
         }
         self.peers: dict[int, HyperMPeer] = {}
+        #: Optional load-adaptation controller (``repro.overlay.adapt``);
+        #: installed by :meth:`enable_adaptation` or ambiently by the
+        #: CLI's ``--adapt`` flag via :func:`adapt_scope`.
+        self.adaptation: AdaptationController | None = None
+        ambient = active_adapt_config()
+        if ambient is not None:
+            self.enable_adaptation(ambient)
         self._overlay_node: dict[tuple[Level, int], int] = {}
         #: ``(level, peer_id) -> {sid -> entry_id}``: which overlay entry
         #: each published sphere (by its epoch-state sphere id) lives at.
         #: The delta pipeline patches/retracts these entries in place.
         self._published_entries: dict[tuple[Level, int], dict[int, int]] = {}
+
+    def enable_adaptation(self, config=None) -> AdaptationController:
+        """Attach a load-adaptation controller (idempotent per config).
+
+        The controller consumes one loadmap snapshot per epoch and
+        reacts with zone rebalances, replication boosts/sheds, and
+        quality-scored retrieval multicast — see
+        :mod:`repro.overlay.adapt`. Returns the controller.
+        """
+        self.adaptation = AdaptationController(self, config)
+        return self.adaptation
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         overlay = type(next(iter(self.overlays.values()))).__name__
@@ -708,7 +727,7 @@ class HyperMNetwork:
                 ),
                 "store": store.health(),
             }
-        return {
+        summary = {
             "peers": self.n_peers,
             "online_peers": online,
             "total_items": self.total_items,
@@ -723,3 +742,6 @@ class HyperMNetwork:
             },
             "energy": self.fabric.energy.snapshot(),
         }
+        if self.adaptation is not None:
+            summary["adaptation"] = self.adaptation.snapshot()
+        return summary

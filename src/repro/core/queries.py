@@ -214,44 +214,87 @@ def contact_peers(
     detector, and peers past the consecutive-failure threshold get their
     dangling spheres tombstoned out of the index
     (:func:`repro.faults.resilience.tombstone_peer`).
+
+    With an :class:`~repro.overlay.adapt.AdaptationController` attached
+    (``network.adaptation``), the flat unicast fan-out becomes a
+    quality-scored relay tree: the origin contacts the top-quality
+    peers, each of which forwards the request to its assigned children —
+    the origin's radio pays for ``relay_fanout`` frames instead of one
+    per target. A relay that cannot be reached (lost request or offline
+    device) degrades gracefully: its children fall back to direct
+    contact from the origin, so the reached set never shrinks versus the
+    flat scheme. Retrieval endpoints may also move off level 0 to each
+    peer's least-loaded overlay interface.
     """
     injector = getattr(network.fabric, "faults", None)
+    controller = getattr(network, "adaptation", None)
     attempts = [peer_id for peer_id, __ in ranked]
     if max_peers is not None:
         attempts = attempts[:max_peers]
     level0 = network.levels[0]
-    origin_node = network.overlay_node(level0, origin_peer)
+    if controller is not None and controller.config.balance_interfaces:
+        node_of = controller.retrieval_node
+    else:
+        def node_of(peer_id: int) -> int:
+            return network.overlay_node(level0, peer_id)
+
+    origin_node = node_of(origin_peer)
     request_size = vector_message_size(network.dimensionality, scalars=2)
     messages = 0
     reached: list[int] = []
     failed: list[int] = []
-    for peer_id in attempts:
-        target_node = network.overlay_node(level0, peer_id)
-        if target_node != origin_node:
-            if injector is None:
-                network.fabric.transmit(
-                    origin_node, target_node,
-                    MessageKind.RETRIEVE, request_size,
-                )
-                messages += 1
-            else:
-                outcome = reliable_send(
-                    network.fabric, origin_node, target_node,
-                    MessageKind.RETRIEVE, request_size,
-                )
-                messages += outcome.attempts
-                if not outcome.delivered:
-                    failed.append(peer_id)  # request never got through
-                    injector.note_contact_failure(peer_id)
-                    continue
+
+    def deliver(source_node: int, peer_id: int, size: int) -> bool:
+        """Send one request frame; returns delivery, accrues messages."""
+        nonlocal messages
+        target_node = node_of(peer_id)
+        if target_node == source_node:
+            return True
+        if injector is None:
+            network.fabric.transmit(
+                source_node, target_node, MessageKind.RETRIEVE, size
+            )
+            messages += 1
+            return True
+        outcome = reliable_send(
+            network.fabric, source_node, target_node,
+            MessageKind.RETRIEVE, size,
+        )
+        messages += outcome.attempts
+        return outcome.delivered
+
+    def settle(peer_id: int, delivered: bool) -> bool:
+        """Classify one contact attempt after its request transmission."""
+        if not delivered:
+            failed.append(peer_id)  # request never got through
+            if injector is not None:
+                injector.note_contact_failure(peer_id)
+            return False
         if not network.peers[peer_id].online:
             failed.append(peer_id)  # request lost to a departed device
             if injector is not None:
                 injector.note_contact_failure(peer_id)
-            continue
+            return False
         reached.append(peer_id)
         if injector is not None:
             injector.note_contact_success(peer_id)
+        return True
+
+    if controller is None:
+        for peer_id in attempts:
+            settle(peer_id, deliver(origin_node, peer_id, request_size))
+    else:
+        for relay_id, children in controller.relay_plan(attempts):
+            relay_size = vector_message_size(
+                network.dimensionality, scalars=2 + len(children)
+            )
+            relay_ok = settle(
+                relay_id, deliver(origin_node, relay_id, relay_size)
+            )
+            relay_node = node_of(relay_id)
+            for child_id in children:
+                source = relay_node if relay_ok else origin_node
+                settle(child_id, deliver(source, child_id, request_size))
     if injector is not None:
         for suspect in injector.drain_suspects():
             tombstone_peer(network, suspect)
@@ -278,7 +321,7 @@ def charge_response(network, origin_peer: int, peer_id: int, n_items: int) -> in
 
 
 def send_response(
-    network, origin_peer: int, peer_id: int, n_items: int
+    network, origin_peer: int, peer_id: int, n_items: int, *, items=None
 ) -> tuple[bool, int]:
     """Fault-aware :func:`charge_response`: ``(delivered, messages)``.
 
@@ -287,22 +330,53 @@ def send_response(
     the plan's :class:`~repro.faults.plan.RetryPolicy`; an undelivered
     response means the querier never sees the items — the caller drops
     them and degrades the query's confidence.
+
+    With an adaptation controller attached and ``items`` provided, the
+    response is *delta-encoded* per (responder, querier) pair: item
+    vectors the querier already received from this responder ship as
+    scalar ids + distances only (the querier re-uses its cached copies),
+    so a hot peer answering the same hot queries repeatedly stops
+    re-paying the full vector payload every round. Delivery is recorded
+    only when the frame actually arrives.
     """
     injector = getattr(network.fabric, "faults", None)
-    if injector is None:
-        return True, charge_response(network, origin_peer, peer_id, n_items)
+    controller = getattr(network, "adaptation", None)
     level0 = network.levels[0]
-    origin_node = network.overlay_node(level0, origin_peer)
-    target_node = network.overlay_node(level0, peer_id)
+    if controller is not None and controller.config.balance_interfaces:
+        origin_node = controller.retrieval_node(origin_peer)
+        target_node = controller.retrieval_node(peer_id)
+    else:
+        origin_node = network.overlay_node(level0, origin_peer)
+        target_node = network.overlay_node(level0, peer_id)
     if target_node == origin_node:
         return True, 0
+    vectors = max(n_items, 0)
+    new_ids = None
+    if (
+        controller is not None
+        and controller.config.dedup_responses
+        and items is not None
+    ):
+        new_ids = controller.filter_new(
+            peer_id, origin_peer, [int(item.item_id) for item in items]
+        )
+        vectors = len(new_ids)
     size = vector_message_size(
-        network.dimensionality * max(n_items, 0), scalars=2 * n_items
+        network.dimensionality * vectors, scalars=2 * max(n_items, 0)
     )
-    outcome = reliable_send(
-        network.fabric, target_node, origin_node, MessageKind.DATA, size
-    )
-    return outcome.delivered, outcome.attempts
+    if injector is None:
+        network.fabric.transmit(
+            target_node, origin_node, MessageKind.DATA, size
+        )
+        delivered, attempts = True, 1
+    else:
+        outcome = reliable_send(
+            network.fabric, target_node, origin_node, MessageKind.DATA, size
+        )
+        delivered, attempts = outcome.delivered, outcome.attempts
+    if delivered and new_ids is not None:
+        controller.mark_delivered(peer_id, origin_peer, new_ids)
+    return delivered, attempts
 
 
 def range_query(
@@ -363,7 +437,7 @@ def range_query(
             for peer_id in contacted:
                 found = network.peers[peer_id].range_search(query, epsilon)
                 delivered, response_messages = send_response(
-                    network, origin, peer_id, len(found)
+                    network, origin, peer_id, len(found), items=found
                 )
                 messages += response_messages
                 if not delivered:
@@ -411,6 +485,11 @@ def range_query(
         metrics.histogram("query.range.confidence").observe(confidence)
         if degraded:
             metrics.counter("query.range.degraded").inc()
+    controller = getattr(network, "adaptation", None)
+    if controller is not None:
+        # Epoch tick last: any zone rebalance or replication retune the
+        # controller triggers can no longer affect this query's results.
+        controller.note_query()
     return RangeQueryResult(
         items=sort_items_by_distance(items),
         peer_scores=aggregated,

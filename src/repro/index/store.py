@@ -359,6 +359,7 @@ class LevelStore:
         self._peer_ids = np.empty(0, dtype=np.int64)
         self._entry_ids = np.empty(0, dtype=np.int64)
         self._refcounts = np.empty(0, dtype=np.int64)
+        self._heat = np.empty(0, dtype=np.int64)
         self._live = np.empty(0, dtype=bool)
         self._values: list = []
         self._row_by_id: dict[int, int] = {}
@@ -433,7 +434,7 @@ class LevelStore:
             col = np.empty(new_cap, dtype=np.float64)
             col[: self._size] = getattr(self, name)[: self._size]
             setattr(self, name, col)
-        for name in ("_peer_ids", "_entry_ids", "_refcounts"):
+        for name in ("_peer_ids", "_entry_ids", "_refcounts", "_heat"):
             col = np.empty(new_cap, dtype=np.int64)
             col[: self._size] = getattr(self, name)[: self._size]
             setattr(self, name, col)
@@ -491,6 +492,7 @@ class LevelStore:
         self._peer_ids[row] = int(getattr(value, "peer_id", -1))
         self._entry_ids[row] = entry_id
         self._refcounts[row] = 0
+        self._heat[row] = 0
         self._live[row] = True
         self._values.append(value)
         self._row_by_id[entry_id] = row
@@ -537,10 +539,14 @@ class LevelStore:
         (rarely) key on its *existing* entry id instead of tombstoning and
         re-inserting, so every replica holding the row sees the update for
         free — replication is multi-membership of one row. The generation
-        counter bumps exactly as for any other mutation, so outstanding
-        :class:`CandidateSet` snapshots correctly report staleness.
+        counter bumps only when a scored field actually changes: a no-op
+        patch (every argument ``None`` or equal to the stored state) must
+        not invalidate outstanding :class:`CandidateSet` snapshots — the
+        adaptation loop re-patches hot entries every epoch and a spurious
+        bump turns each epoch into a ``StaleCandidateError`` storm.
         """
         row = self.row_of(entry_id)
+        changed = False
         if key is not None:
             key = np.asarray(key, dtype=np.float64)
             if key.shape != (self._dim,):
@@ -548,19 +554,44 @@ class LevelStore:
                     f"key shape {key.shape} does not match store "
                     f"dimensionality {self._dim}"
                 )
-            self._keys[row] = key
-            self._key_sq[row] = float(key @ key)
+            if not np.array_equal(key, self._keys[row]):
+                self._keys[row] = key
+                self._key_sq[row] = float(key @ key)
+                changed = True
         if radius is not None:
             radius = float(radius)
             if radius < 0.0:
                 raise ValidationError(f"radius must be >= 0, got {radius}")
-            self._radii[row] = radius
+            if radius != float(self._radii[row]):
+                self._radii[row] = radius
+                changed = True
         if value is not None:
+            items = float(getattr(value, "items", 0.0) or 0.0)
+            peer_id = int(getattr(value, "peer_id", -1))
+            if not (
+                self._values_equal(value, self._values[row])
+                and items == float(self._items[row])
+                and peer_id == int(self._peer_ids[row])
+            ):
+                changed = True
+            # Always keep the latest payload object (cheap, no snapshot
+            # consequences when it compares equal to the stored one).
             self._values[row] = value
-            self._items[row] = float(getattr(value, "items", 0.0) or 0.0)
-            self._peer_ids[row] = int(getattr(value, "peer_id", -1))
-        self.generation += 1
+            self._items[row] = items
+            self._peer_ids[row] = peer_id
+        if changed:
+            self.generation += 1
         return row
+
+    @staticmethod
+    def _values_equal(a: object, b: object) -> bool:
+        """Payload equality that never raises (arrays compare ambiguous)."""
+        if a is b:
+            return True
+        try:
+            return bool(a == b)
+        except Exception:
+            return False
 
     def remove_entry(self, entry_id: int) -> bool:
         """Drop one entry everywhere: every membership forgets its row.
@@ -580,20 +611,30 @@ class LevelStore:
     def remove_peer_entries(self, peer_id: int) -> int:
         """Tombstone every live entry published by ``peer_id``.
 
-        One vectorized peer-id column scan finds the doomed rows, each is
-        dropped from every registered membership (all replicas at once),
-        and the store compacts if the tombstone threshold is passed.
-        The resilience layer uses this to reap the dangling spheres of a
-        crashed peer (:func:`repro.faults.resilience.tombstone_peer`);
-        returns the number of entries removed.
+        One vectorized peer-id column scan finds the doomed rows, then a
+        *single* sweep over the registered memberships drops every doomed
+        row each holds — not one full membership scan per entry, which
+        made reaping a large crashed peer quadratic in its sphere count.
+        Rows still live afterwards (held by no membership) are tombstoned
+        directly, and the store compacts if past threshold. The resilience
+        layer uses this to reap the dangling spheres of a crashed peer
+        (:func:`repro.faults.resilience.tombstone_peer`); returns the
+        number of entries removed.
         """
         rows = self.rows_for_peer(peer_id)
         if rows.size == 0:
             return 0
-        entry_ids = [int(self._entry_ids[row]) for row in rows]
-        removed = sum(1 for eid in entry_ids if self.remove_entry(eid))
+        doomed = {int(row) for row in rows}
+        for membership in list(self._memberships):
+            held = doomed & membership._rows
+            if held:
+                # Sorted for deterministic decref/tombstone order.
+                membership.discard_many(sorted(held))
+        for row in rows:
+            if self._live[row]:  # held by no membership at all
+                self._tombstone(int(row))
         self.maybe_compact()
-        return removed
+        return int(rows.size)
 
     # -- compaction ----------------------------------------------------------
 
@@ -620,6 +661,15 @@ class LevelStore:
         if self._n_tombstones == 0:
             return
         size = self._size
+        if len(self._values) != size:
+            # _values is the only per-row Python-list column; every append
+            # path must keep it exactly _size-aligned (capacity growth
+            # touches the numpy columns only). The zip(strict=True) below
+            # would also catch this, but with an opaque message.
+            raise ValidationError(
+                f"store corrupt: {len(self._values)} payloads for "
+                f"{size} rows"
+            )
         live = self._live[:size]
         mapping = np.full(size, -1, dtype=np.int64)
         mapping[live] = np.arange(int(live.sum()), dtype=np.int64)
@@ -631,6 +681,7 @@ class LevelStore:
         self._peer_ids[:new_size] = self._peer_ids[:size][live]
         self._entry_ids[:new_size] = self._entry_ids[:size][live]
         self._refcounts[:new_size] = self._refcounts[:size][live]
+        self._heat[:new_size] = self._heat[:size][live]
         self._values = [
             v for v, keep in zip(self._values, live, strict=True) if keep
         ]
@@ -764,13 +815,38 @@ class LevelStore:
         return CandidateSet(self, rows)
 
     def union_candidates(self, row_arrays: list) -> CandidateSet:
-        """Union per-node row arrays into one deduplicated snapshot."""
+        """Union per-node row arrays into one deduplicated snapshot.
+
+        Every surviving row's query-heat counter is bumped here — the one
+        point all overlay range queries funnel through — so per-sphere
+        heat accumulates without any per-overlay instrumentation.
+        """
         if not row_arrays:
             return CandidateSet(self, np.empty(0, dtype=np.int64))
         merged = np.unique(np.concatenate(
             [np.asarray(rows, dtype=np.int64) for rows in row_arrays]
         ))
+        self._heat[merged] += 1  # observational only: no generation bump
         return CandidateSet(self, merged)
+
+    # -- query heat ----------------------------------------------------------
+
+    def heat_of(self, rows: np.ndarray) -> np.ndarray:
+        """Query-heat counters of ``rows`` (vectorized gather)."""
+        return self._heat[np.asarray(rows, dtype=np.int64)]
+
+    def sphere_heat(self) -> dict[int, int]:
+        """``{entry_id: times a range query returned it}`` over live rows.
+
+        The per-sphere demand signal the adaptation controller consumes:
+        heat counts how often each sphere survived a query's intersection
+        filter, accumulated in :meth:`union_candidates` and preserved
+        across compactions. Reading it never mutates the store.
+        """
+        rows = self.live_rows()
+        return {
+            int(self._entry_ids[row]): int(self._heat[row]) for row in rows
+        }
 
     # -- integrity -----------------------------------------------------------
 
@@ -780,8 +856,13 @@ class LevelStore:
         * every live row's refcount equals the number of registered
           memberships holding it;
         * every membership row is live;
-        * the id map covers exactly the live rows.
+        * the id map covers exactly the live rows;
+        * the payload list stays exactly ``_size``-aligned.
         """
+        if len(self._values) != self._size:
+            raise ValidationError(
+                f"{len(self._values)} payloads for {self._size} rows"
+            )
         counts = np.zeros(self._size, dtype=np.int64)
         for membership in self._memberships:
             for row in membership._rows:

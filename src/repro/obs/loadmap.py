@@ -177,6 +177,8 @@ def build_loadmap(network, *, top_k: int = 10) -> dict:
                      msgs_in, ..., energy}, ...],
          "peers":  [{peer, online, nodes, store_rows, msgs_in, ...,
                      energy}, ...],
+         "sphere_heat": {level: {total, spheres,
+                                 "top": top-k [{entry_id, heat, peer}]}},
          "hotspots": {"zones": top-k by bytes, "peers": top-k},
          "skew": {"zone_bytes": {gini, max, mean, max_over_mean},
                   "zone_rows": ..., "peer_bytes": ..., "peer_energy": ...}}
@@ -198,11 +200,31 @@ def build_loadmap(network, *, top_k: int = 10) -> dict:
     zone_rows: list[dict] = []
     peer_rows: dict[int, dict] = {}
     generations: dict[str, int] = {}
+    sphere_heat: dict[str, dict] = {}
     for level, overlay in network.overlays.items():
         store = getattr(overlay, "level_store", None)
         generations[str(level)] = (
             int(store.generation) if store is not None else 0
         )
+        if store is not None and hasattr(store, "sphere_heat"):
+            heat = store.sphere_heat()
+            top = sorted(
+                heat.items(), key=lambda pair: (-pair[1], pair[0])
+            )[:top_k]
+            sphere_heat[str(level)] = {
+                "total": int(sum(heat.values())),
+                "spheres": len(heat),
+                "top": [
+                    {
+                        "entry_id": entry_id,
+                        "heat": count,
+                        "peer": int(
+                            store.view(store.row_of(entry_id)).peer_id
+                        ),
+                    }
+                    for entry_id, count in top
+                ],
+            }
         for node_id in sorted(overlay.node_ids):
             node = overlay.node(node_id)
             load = ledger.node_load(node_id)
@@ -258,6 +280,7 @@ def build_loadmap(network, *, top_k: int = 10) -> dict:
         "generations": generations,
         "zones": zone_rows,
         "peers": peers,
+        "sphere_heat": sphere_heat,
         "hotspots": {
             "zones": [
                 {

@@ -1,0 +1,424 @@
+"""Load-adaptation: the control loop that fixes hotspot zone overload.
+
+The observability layer already measures the problem — skewed query
+workloads concentrate traffic on a few CAN zones (``build_loadmap``'s
+Gini / max-over-mean skew statistics). This module closes the loop: an
+:class:`AdaptationController` consumes one generation-tagged loadmap
+snapshot per *epoch* (every ``epoch_queries`` range queries) and reacts
+along four axes:
+
+* **Zone rebalancing** — a zone whose byte traffic exceeds
+  ``split_threshold`` × the level mean is split and half is handed to
+  the hot node's least-loaded neighbour
+  (:meth:`repro.overlay.can.network.CANNetwork.rebalance_zone`, the
+  GeoP2P idiom).
+* **Replication retuning** — spheres whose query heat grew this epoch
+  gain extra replicas on adjacent least-loaded nodes
+  (:func:`repro.overlay.can.replication.boost_replication`); boosted
+  spheres that went cold shed the extras
+  (:func:`~repro.overlay.can.replication.shed_replication`). Both reuse
+  the shared-row membership machinery — no withdraw + republish round.
+* **Quality-scored multicast** — retrieval requests fan out through a
+  small relay tree rooted at the highest-quality peers (fewest
+  retransmits/drops in the :class:`~repro.obs.loadmap.LoadLedger`),
+  responses carry only item vectors the querier has not already
+  received, and each peer serves retrieval from its least-loaded
+  overlay interface instead of always its level-0 node.
+* **Quality-biased routing** — overlay greedy routing breaks distance
+  ties towards low-penalty nodes (``route_penalty`` hook); the owner
+  reached, and therefore all stored state, is unchanged.
+
+Every decision is recorded as an :class:`AdaptationDecision`; given the
+same seed and fault plan the decision sequence is bit-identical across
+runs (all inputs are deterministic ledgers and all iteration orders are
+explicitly sorted).
+
+The ambient :func:`adapt_scope` mirrors :mod:`repro.faults.state`: the
+CLI's ``--adapt`` flag makes a config ambient, and
+:class:`repro.core.network.HyperMNetwork` checks
+:func:`active_adapt_config` at construction time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.obs.loadmap import build_loadmap
+from repro.overlay.can.replication import boost_replication, shed_replication
+
+
+@dataclass(frozen=True)
+class AdaptConfig:
+    """Operating point of the load-adaptation control loop.
+
+    Attributes
+    ----------
+    split_threshold:
+        Rebalance a zone when its bytes exceed this multiple of the
+        level's mean zone bytes (max-over-mean trigger).
+    max_splits_per_epoch:
+        Zone rebalances per level per epoch (0 disables splitting).
+    boost_replicas:
+        Extra replicas granted to each hot sphere per boost.
+    max_boosts_per_epoch:
+        Hot spheres boosted per level per epoch (0 disables boosting).
+    shed_cold:
+        Drop boosted replicas of spheres that went cold for an epoch.
+    relay_fanout:
+        Retrieval requests fan out through this many relay peers
+        (0 restores flat unicast contact).
+    dedup_responses:
+        Responses ship only item vectors the querier has not already
+        received from that responder (scalar ids always ride along).
+    balance_interfaces:
+        Serve retrieval from each peer's least-loaded overlay node
+        instead of pinning all retrieval traffic to level 0.
+    quality_routing:
+        Install the ledger-driven tie-break penalty on overlay routing.
+    epoch_queries:
+        Range queries per adaptation epoch (0 = only explicit
+        :meth:`AdaptationController.run_epoch` calls).
+    top_k:
+        Hotspot ranking depth requested from :func:`build_loadmap`.
+    """
+
+    split_threshold: float = 3.0
+    max_splits_per_epoch: int = 1
+    boost_replicas: int = 1
+    max_boosts_per_epoch: int = 8
+    shed_cold: bool = True
+    relay_fanout: int = 2
+    dedup_responses: bool = True
+    balance_interfaces: bool = True
+    quality_routing: bool = True
+    epoch_queries: int = 16
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.split_threshold <= 1.0:
+            raise ValidationError(
+                f"split_threshold must be > 1, got {self.split_threshold}"
+            )
+        for name in (
+            "max_splits_per_epoch", "boost_replicas",
+            "max_boosts_per_epoch", "relay_fanout",
+            "epoch_queries", "top_k",
+        ):
+            if getattr(self, name) < 0:
+                raise ValidationError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """One recorded control action.
+
+    ``action`` is ``"split"`` (``subject`` = hot node id, ``targets`` =
+    the receiving node), ``"boost"`` (``subject`` = entry id,
+    ``targets`` = new holder node ids) or ``"shed"`` (``subject`` =
+    entry id, ``targets`` = releasing node ids).
+    """
+
+    epoch: int
+    level: str
+    action: str
+    subject: int
+    targets: tuple[int, ...]
+
+    def as_tuple(self) -> tuple:
+        """Hashable identity for replay-determinism comparisons."""
+        return (self.epoch, self.level, self.action, self.subject, self.targets)
+
+    def to_record(self) -> dict:
+        """JSON-safe form for reports."""
+        return {
+            "epoch": self.epoch,
+            "level": self.level,
+            "action": self.action,
+            "subject": self.subject,
+            "targets": list(self.targets),
+        }
+
+
+class AdaptationController:
+    """Per-network adaptation state machine.
+
+    Parameters
+    ----------
+    network:
+        A :class:`repro.core.network.HyperMNetwork`.
+    config:
+        :class:`AdaptConfig`; defaults to the standard operating point.
+    """
+
+    def __init__(self, network, config: AdaptConfig | None = None):
+        self.network = network
+        self.config = config or AdaptConfig()
+        self.epochs = 0
+        self.decisions: list[AdaptationDecision] = []
+        self._queries_seen = 0
+        #: per level: last epoch's ``{entry_id: heat}`` snapshot.
+        self._prev_heat: dict = {}
+        #: per level: entry ids currently carrying boosted replicas.
+        self._boosted: dict = {}
+        #: ``(responder_peer, origin_peer) -> item ids already shipped``.
+        self._sent: dict[tuple[int, int], set[int]] = {}
+        if self.config.quality_routing:
+            for overlay in network.overlays.values():
+                if hasattr(overlay, "route_penalty"):
+                    overlay.route_penalty = self.node_penalty
+
+    # -- quality signals ------------------------------------------------------
+
+    def node_penalty(self, node_id: int) -> float:
+        """Routing tie-break penalty: the node's retransmits + drops."""
+        load = self.network.fabric.load.node_load(node_id)
+        return float(load.retransmits + load.drops)
+
+    def peer_quality(self, peer_id: int) -> float:
+        """``1 / (1 + retransmits + drops)`` over the peer's nodes.
+
+        SNIPPETS-style link quality: a peer whose radio history is clean
+        scores 1.0 and decays towards 0 as its fabric nodes accumulate
+        retransmissions and dropped frames.
+        """
+        ledger = self.network.fabric.load
+        bad = 0
+        for level in self.network.levels:
+            node_id = self.network._overlay_node.get((level, peer_id))
+            if node_id is None:
+                continue
+            load = ledger.node_load(node_id)
+            bad += load.retransmits + load.drops
+        return 1.0 / (1.0 + float(bad))
+
+    def retrieval_node(self, peer_id: int) -> int:
+        """The peer's least-loaded live overlay node (byte totals, id tie).
+
+        Spreads retrieval traffic across every level's interface instead
+        of pinning all of it to the level-0 node — the single biggest
+        peer-load equalizer on skewed workloads.
+        """
+        network = self.network
+        ledger = network.fabric.load
+        nodes = []
+        for level in network.levels:
+            node_id = network._overlay_node.get((level, peer_id))
+            if node_id is None:
+                continue
+            overlay = network.overlays[level]
+            if node_id not in overlay.node_ids:
+                continue  # handed over by a graceful departure
+            nodes.append(node_id)
+        if not nodes:
+            return network.overlay_node(network.levels[0], peer_id)
+        return min(
+            nodes, key=lambda nid: (ledger.node_load(nid).bytes_total, nid)
+        )
+
+    # -- quality-scored multicast ---------------------------------------------
+
+    def relay_plan(self, peers: list[int]) -> list[tuple[int, tuple[int, ...]]]:
+        """Fan a contact list out through the highest-quality peers.
+
+        Returns ``[(target, children), ...]``: each target is contacted
+        directly; a non-empty ``children`` tuple means the target relays
+        the request onward to those peers. With ``relay_fanout`` = 0 or
+        few enough targets, everyone is contacted flat. Relays are the
+        top-quality peers (ties broken by id); the rest are assigned
+        round-robin in sorted order, so the plan is deterministic.
+        """
+        fanout = self.config.relay_fanout
+        if fanout < 1 or len(peers) <= fanout:
+            return [(peer_id, ()) for peer_id in peers]
+        ranked = sorted(
+            peers, key=lambda pid: (-self.peer_quality(pid), pid)
+        )
+        relays = ranked[:fanout]
+        children: dict[int, list[int]] = {relay: [] for relay in relays}
+        relay_set = set(relays)
+        rest = sorted(pid for pid in peers if pid not in relay_set)
+        for index, peer_id in enumerate(rest):
+            children[relays[index % fanout]].append(peer_id)
+        return [(relay, tuple(children[relay])) for relay in relays]
+
+    def filter_new(
+        self, responder: int, origin: int, item_ids: list[int]
+    ) -> list[int]:
+        """Item ids ``responder`` has not yet delivered to ``origin``."""
+        sent = self._sent.get((responder, origin))
+        if not sent:
+            return list(item_ids)
+        return [iid for iid in item_ids if iid not in sent]
+
+    def mark_delivered(
+        self, responder: int, origin: int, item_ids: list[int]
+    ) -> None:
+        """Record a delivered response so repeats ship scalars only."""
+        if not item_ids:
+            return
+        self._sent.setdefault((responder, origin), set()).update(item_ids)
+
+    # -- the control loop -----------------------------------------------------
+
+    def note_query(self) -> bool:
+        """Count one range query; runs an epoch on the configured cadence."""
+        self._queries_seen += 1
+        if self.config.epoch_queries < 1:
+            return False
+        if self._queries_seen % self.config.epoch_queries:
+            return False
+        self.run_epoch()
+        return True
+
+    def run_epoch(self) -> list[AdaptationDecision]:
+        """Consume one loadmap snapshot and apply every triggered action."""
+        network = self.network
+        loadmap = build_loadmap(network, top_k=self.config.top_k)
+        by_level: dict[str, list[dict]] = {}
+        for row in loadmap["zones"]:
+            by_level.setdefault(row["level"], []).append(row)
+        epoch = self.epochs
+        made: list[AdaptationDecision] = []
+        for level in network.levels:
+            overlay = network.overlays[level]
+            if not hasattr(overlay, "rebalance_zone"):
+                continue  # adaptation currently targets CAN-style overlays
+            made.extend(
+                self._rebalance(epoch, level, overlay, by_level.get(str(level), []))
+            )
+            made.extend(self._retune_replication(epoch, level, overlay))
+        self.decisions.extend(made)
+        self.epochs += 1
+        return made
+
+    def _rebalance(self, epoch, level, overlay, rows) -> list[AdaptationDecision]:
+        """Split zones whose traffic exceeds the max-over-mean threshold."""
+        config = self.config
+        if config.max_splits_per_epoch < 1 or len(rows) < 2:
+            return []
+        loads = sorted(
+            ((row["bytes_in"] + row["bytes_out"], row["node"]) for row in rows),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        mean = sum(load for load, __ in loads) / len(loads)
+        if mean <= 0.0:
+            return []
+        made: list[AdaptationDecision] = []
+        for load, node_id in loads[: config.max_splits_per_epoch]:
+            if load <= config.split_threshold * mean:
+                break
+            target = overlay.rebalance_zone(int(node_id))
+            if target is not None:
+                made.append(
+                    AdaptationDecision(
+                        epoch, str(level), "split", int(node_id), (int(target),)
+                    )
+                )
+        return made
+
+    def _retune_replication(self, epoch, level, overlay) -> list[AdaptationDecision]:
+        """Boost spheres whose heat grew this epoch; shed the gone-cold."""
+        config = self.config
+        store = getattr(overlay, "level_store", None)
+        if store is None or not hasattr(store, "sphere_heat"):
+            return []
+        heat = store.sphere_heat()
+        previous = self._prev_heat.get(level)
+        self._prev_heat[level] = heat
+        if previous is None:
+            return []  # first epoch establishes the baseline
+        deltas = {
+            entry_id: count - previous.get(entry_id, 0)
+            for entry_id, count in heat.items()
+        }
+        made: list[AdaptationDecision] = []
+        boosted = self._boosted.setdefault(level, set())
+        if config.max_boosts_per_epoch >= 1 and config.boost_replicas >= 1:
+            hot = sorted(
+                (eid for eid, delta in deltas.items() if delta > 0),
+                key=lambda eid: (-deltas[eid], eid),
+            )[: config.max_boosts_per_epoch]
+            for entry_id in hot:
+                added = boost_replication(
+                    overlay, store.row_of(entry_id), config.boost_replicas
+                )
+                if added:
+                    boosted.add(entry_id)
+                    made.append(
+                        AdaptationDecision(
+                            epoch, str(level), "boost",
+                            int(entry_id), tuple(added),
+                        )
+                    )
+        if config.shed_cold:
+            cold = sorted(
+                eid for eid in boosted
+                if eid in heat and deltas.get(eid, 0) == 0
+            )
+            for entry_id in cold:
+                shed = shed_replication(overlay, store.row_of(entry_id))
+                boosted.discard(entry_id)
+                if shed:
+                    made.append(
+                        AdaptationDecision(
+                            epoch, str(level), "shed",
+                            int(entry_id), tuple(shed),
+                        )
+                    )
+        # Entries retracted or tombstoned underneath us stop being tracked.
+        for entry_id in sorted(boosted):
+            if entry_id not in heat:
+                boosted.discard(entry_id)
+        return made
+
+    # -- introspection --------------------------------------------------------
+
+    def decision_log(self) -> list[dict]:
+        """Every decision as a JSON-safe record, in order."""
+        return [decision.to_record() for decision in self.decisions]
+
+    def snapshot(self) -> dict:
+        """Counters for reports and :meth:`HyperMNetwork.stats`."""
+        counts = {"split": 0, "boost": 0, "shed": 0}
+        for decision in self.decisions:
+            counts[decision.action] += 1
+        return {
+            "epochs": self.epochs,
+            "queries_seen": self._queries_seen,
+            "decisions": counts,
+            "boosted_spheres": sum(
+                len(entries) for entries in self._boosted.values()
+            ),
+        }
+
+
+# -- ambient config (mirrors repro.faults.state) ------------------------------
+
+_active: AdaptConfig | None = None
+
+
+def active_adapt_config() -> AdaptConfig | None:
+    """The config new networks should adopt (``None`` = no adaptation)."""
+    return _active
+
+
+def set_active_adapt_config(
+    config: AdaptConfig | None,
+) -> AdaptConfig | None:
+    """Install ``config`` as the ambient config; returns the previous one."""
+    global _active
+    previous = _active
+    _active = config
+    return previous
+
+
+@contextmanager
+def adapt_scope(config: AdaptConfig | None):
+    """Make ``config`` ambient for the duration of the block."""
+    previous = set_active_adapt_config(config)
+    try:
+        yield config
+    finally:
+        set_active_adapt_config(previous)

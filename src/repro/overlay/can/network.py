@@ -70,6 +70,11 @@ class CANNetwork(Overlay):
         self._next_id = int(node_id_offset)
         #: The shared columnar index for this overlay (one per level).
         self.level_store = LevelStore(self._dim)
+        #: Optional ``node_id -> float`` quality penalty installed by the
+        #: adaptation controller: routing and flooding prefer low-penalty
+        #: nodes among otherwise-equal choices. ``None`` (the default)
+        #: keeps the historical, adaptation-free behaviour bit-identical.
+        self.route_penalty = None
 
     # -- Overlay interface ----------------------------------------------------
 
@@ -127,7 +132,9 @@ class CANNetwork(Overlay):
         )
         entry_id = int(self._rng.choice(list(self._nodes)))
         with obs_flight.state.recorder.operation("join", node=node_id):
-            owner_id, path = route_to_owner(self, entry_id, point)
+            owner_id, path = route_to_owner(
+                self, entry_id, point, penalty=self.route_penalty
+            )
             size = vector_message_size(self._dim)
             prev = entry_id
             for hop_id in path:
@@ -325,6 +332,93 @@ class CANNetwork(Overlay):
                     a.add_neighbor(b.node_id, tuple(b.zones))
                     b.add_neighbor(a.node_id, tuple(a.zones))
 
+    def rebalance_zone(
+        self, node_id: int, target_id: int | None = None, *, fraction: float = 0.5
+    ) -> int | None:
+        """Split a hot node's largest zone and hand one half to a neighbour.
+
+        The adaptation controller's zone action (the GeoP2P idiom): when a
+        node's traffic exceeds the controller's max-over-mean threshold,
+        its largest zone is cut at ``fraction`` along its longest side and
+        the half nearer ``target_id`` (default: the hot node's least-loaded
+        neighbour by LoadLedger byte totals, node id as tie-break) moves
+        there. Rows overlapping the given half are absorbed by the target
+        *before* the hot node releases any — the same
+        new-holder-first ordering as :meth:`_handoff_state`, so a row held
+        only by the hot node is never transiently unreferenced. The
+        transfer is charged as one batched ``REPLICATE`` message carrying
+        the moved keys plus a header-sized zone-transfer control message,
+        then every neighbour table is rebuilt from geometry.
+
+        Returns the target node id, or ``None`` when no rebalance is
+        possible (no neighbours, or the zone is too thin to split).
+        """
+        hot = self.node(node_id)
+        zone = max(hot.zones, key=lambda z: (z.volume, tuple(z.lows)))
+        if target_id is None:
+            ledger = self.fabric.load
+            candidates = sorted(
+                (nid for nid in hot.neighbors if nid in self._nodes),
+                key=lambda nid: (ledger.node_load(nid).bytes_total, nid),
+            )
+            if not candidates:
+                return None
+            target_id = candidates[0]
+        if target_id == node_id:
+            raise ValidationError("cannot rebalance a zone onto its own node")
+        target = self.node(target_id)
+        try:
+            lower, upper = zone.split(fraction=fraction)
+        except ValidationError:
+            return None
+        # The target adopts whichever half sits torus-closer to its own
+        # territory (nearest of its zone centers — it may own several
+        # after a pinwheel takeover), keeping the handed-over zone
+        # adjacent to the rest of the target's zones when geometry allows.
+        def _distance_to_target(half: Zone) -> float:
+            return min(
+                half.torus_distance_to(zone.center) for zone in target.zones
+            )
+
+        if _distance_to_target(upper) < _distance_to_target(lower):
+            given, kept = upper, lower
+        else:
+            given, kept = lower, upper
+        with obs_flight.state.recorder.operation(
+            "rebalance", node=node_id, target=target_id
+        ) as flight_op:
+            hot.set_zones(self._replace_zone(hot.zones, zone, kept))
+            target.set_zones(list(target.zones) + [given])
+            store = self.level_store
+            moved: list[int] = []
+            released: list[int] = []
+            for row in hot.membership.rows():
+                key = store.key_of(row)
+                radius = store.radius_of(row)
+                if not given.intersects_sphere(key, radius):
+                    continue
+                moved.append(row)
+                if not hot.intersects_sphere(key, radius):
+                    released.append(row)
+            # New holder first, then release (see _handoff_state).
+            target.absorb_rows(moved)
+            size = HEADER_BYTES
+            if moved:
+                size = vector_message_size(
+                    self._dim * len(moved), scalars=2 * len(moved)
+                )
+            self.fabric.transmit(
+                node_id, target_id, MessageKind.REPLICATE, size
+            )
+            self.fabric.transmit(
+                node_id, target_id, MessageKind.JOIN, HEADER_BYTES
+            )
+            hot.membership.discard_many(released)
+            self._rebuild_all_neighbors()
+            self.fabric.finish_operation(MessageKind.REPLICATE, 2)
+            flight_op.set(rows_moved=len(moved), rows_released=len(released))
+        return target_id
+
     # -- data plane -------------------------------------------------------------
 
     def owner_of(self, point: np.ndarray) -> int:
@@ -350,7 +444,9 @@ class CANNetwork(Overlay):
         key = check_unit_cube(check_vector(key, "key", dim=self._dim), "key")
         check_positive(radius, "radius", strict=False)
         with obs_flight.state.recorder.operation("insert", origin=origin):
-            owner_id, path = route_to_owner(self, origin, key)
+            owner_id, path = route_to_owner(
+                self, origin, key, penalty=self.route_penalty
+            )
             size = vector_message_size(self._dim, scalars=2)
             prev = origin
             for hop_id in path:
@@ -473,7 +569,9 @@ class CANNetwork(Overlay):
         """Point query: entries at the owner of ``key`` whose spheres contain it."""
         key = check_vector(key, "key", dim=self._dim)
         with obs_flight.state.recorder.operation("lookup", origin=origin):
-            owner_id, path = route_to_owner(self, origin, key)
+            owner_id, path = route_to_owner(
+                self, origin, key, penalty=self.route_penalty
+            )
             size = vector_message_size(self._dim)
             prev = origin
             for hop_id in path:
@@ -501,7 +599,9 @@ class CANNetwork(Overlay):
         with obs_flight.state.recorder.operation(
             "range_query", origin=origin
         ) as flight_op:
-            owner_id, path = route_to_owner(self, origin, center)
+            owner_id, path = route_to_owner(
+                self, origin, center, penalty=self.route_penalty
+            )
             size = vector_message_size(self._dim, scalars=1)
             prev = origin
             for hop_id in path:

@@ -94,3 +94,84 @@ def extend_replication(network, row: int, holder_ids) -> list[int]:
     if recorder.enabled and added:
         recorder.add(replica_hops=len(added))
     return added
+
+
+def boost_replication(network, row: int, extra: int) -> list[int]:
+    """Raise a hot row's replication degree by up to ``extra`` copies.
+
+    The adaptation controller's hot-sphere action: neighbours of the
+    current holders that do not yet hold the row adopt it, least-loaded
+    first (LoadLedger byte totals, node id as the deterministic
+    tie-break). Each new copy is one ``REPLICATE`` message from an
+    adjacent holder. Boosted copies are pure extras — queries dedup the
+    shared row, so results are unchanged (Theorem 4.1 set equality) —
+    and they pre-position the row for radius growth and zone handoffs.
+    Returns the new holder ids.
+    """
+    if extra < 1:
+        return []
+    store = network.level_store
+    size = vector_message_size(store.key_of(row).shape[0], scalars=2)
+    holders = sorted(
+        node_id
+        for node_id in network.node_ids
+        if row in network.node(node_id).membership
+    )
+    frontier: set[int] = set()
+    for holder_id in holders:
+        for neighbor_id in network.node(holder_id).neighbors:
+            if neighbor_id not in holders:
+                frontier.add(neighbor_id)
+    ledger = network.fabric.load
+    chosen = sorted(
+        frontier,
+        key=lambda nid: (ledger.node_load(nid).bytes_total, nid),
+    )[:extra]
+    added: list[int] = []
+    for node_id in chosen:
+        source = next(
+            h for h in holders if node_id in network.node(h).neighbors
+        )
+        network.fabric.transmit(
+            source, node_id, MessageKind.REPLICATE, size
+        )
+        if network.node(node_id).add_row(row):
+            added.append(node_id)
+    recorder = obs_trace.state.recorder
+    if recorder.enabled and added:
+        recorder.add(replica_hops=len(added))
+    return added
+
+
+def shed_replication(network, row: int) -> list[int]:
+    """Drop a cold row's *boosted* replicas; returns the shedding node ids.
+
+    Only copies on nodes whose zones do **not** overlap the row's sphere
+    are released — those are exactly the boosted extras (and stale
+    holders left behind by zone rebalancing). Zone-overlapping holders
+    are the inviolable baseline: a query ball meeting the sphere only
+    inside one holder's zone must still find the row there, so shedding
+    below that set would break Theorem 4.1 set equality. The owner zone
+    contains the sphere's centre, so the refcount can never reach zero
+    here.
+    """
+    store = network.level_store
+    key = store.key_of(row)
+    radius = store.radius_of(row)
+    holders = sorted(
+        node_id
+        for node_id in network.node_ids
+        if row in network.node(node_id).membership
+    )
+    doomed = [
+        node_id
+        for node_id in holders
+        if not network.node(node_id).intersects_sphere(key, radius)
+    ]
+    if len(doomed) == len(holders) and doomed:
+        # Degenerate float-boundary row overlapping no zone at all: keep
+        # one holder so the entry is never tombstoned by adaptation.
+        doomed = doomed[1:]
+    for node_id in doomed:
+        network.node(node_id).membership.discard(row)
+    return doomed

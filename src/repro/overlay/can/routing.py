@@ -33,7 +33,7 @@ def _snapshot_distance(zones, point: np.ndarray) -> float:
 
 
 def route_to_owner(
-    network, start_id: int, point: np.ndarray
+    network, start_id: int, point: np.ndarray, *, penalty=None
 ) -> tuple[int, list[int]]:
     """Route from ``start_id`` to the owner of ``point``.
 
@@ -46,6 +46,14 @@ def route_to_owner(
         Node where the message originates.
     point:
         Target key in the unit cube.
+    penalty:
+        Optional ``node_id -> float`` quality penalty used as a
+        *secondary* sort key: among equally-near next hops the walk
+        prefers the lowest-penalty (least drop/retransmit-prone) node.
+        The primary greedy metric is untouched, so the owner reached —
+        and therefore all stored state — is identical with or without a
+        penalty; only the path (and its per-node traffic) may differ.
+        ``None`` (the default) reproduces the historical order exactly.
 
     Returns
     -------
@@ -72,12 +80,16 @@ def route_to_owner(
                 )
             return current.node_id, path
         candidates = sorted(
-            (_snapshot_distance(zones, point), node_id)
+            (
+                _snapshot_distance(zones, point),
+                penalty(node_id) if penalty is not None else 0.0,
+                node_id,
+            )
             for node_id, zones in current.neighbors.items()
             if node_id not in visited
         )
         if candidates:
-            __, next_id = candidates[0]
+            *__, next_id = candidates[0]
             visited.add(next_id)
             stack.append(next_id)
             path.append(next_id)

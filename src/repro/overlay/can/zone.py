@@ -78,12 +78,17 @@ class Zone:
 
     # -- splitting -----------------------------------------------------------
 
-    def split(self, dim: int | None = None) -> tuple["Zone", "Zone"]:
-        """Halve the zone along ``dim`` (default: the longest side).
+    def split(
+        self, dim: int | None = None, *, fraction: float = 0.5
+    ) -> tuple["Zone", "Zone"]:
+        """Split the zone along ``dim`` (default: the longest side).
 
         Returns ``(lower_half, upper_half)``. Ties on the longest side break
         to the lowest dimension index, which reproduces CAN's round-robin
-        split order under uniform joins.
+        split order under uniform joins. ``fraction`` places the cut at
+        ``lows + fraction * extent`` — the load-adaptive rebalancer uses an
+        off-centre cut to carve a hot zone proportionally to where its
+        traffic concentrates; the default midpoint is CAN's classic split.
         """
         if dim is None:
             dim = int(np.argmax(self.extent()))
@@ -91,7 +96,23 @@ class Zone:
             raise ValidationError(
                 f"split dim {dim} out of range for {self.dimensionality}-d zone"
             )
-        mid = (self.lows[dim] + self.highs[dim]) / 2.0
+        fraction = float(fraction)
+        if not 0.0 < fraction < 1.0:
+            raise ValidationError(
+                f"split fraction must be in (0, 1), got {fraction}"
+            )
+        if fraction == 0.5:
+            # Keep the historical midpoint expression: bit-identical zone
+            # boundaries for every non-adaptive caller.
+            mid = (self.lows[dim] + self.highs[dim]) / 2.0
+        else:
+            mid = self.lows[dim] + fraction * (
+                self.highs[dim] - self.lows[dim]
+            )
+        if not self.lows[dim] < mid < self.highs[dim]:
+            raise ValidationError(
+                f"zone too thin to split along dim {dim}"
+            )
         lower_highs = self.highs.copy()
         lower_highs[dim] = mid
         upper_lows = self.lows.copy()

@@ -284,6 +284,213 @@ class TestSerializationRoundTrip:
         assert list(restored.live_rows()) == list(range(5))
 
 
+class TestUpdateEntry:
+    def _one_entry(self, rng):
+        store = LevelStore(3)
+        m = store.new_membership()
+        key = rng.random(3)
+        row = store.add(key, 0.2, _record(4, items=12))
+        m.add(row)
+        return store, m, store.entry_id_of(row), key
+
+    def test_noop_update_does_not_bump_generation(self, rng):
+        store, m, entry_id, key = self._one_entry(rng)
+        candidates = store.candidate_set(m.rows())
+        generation = store.generation
+        # Re-patching the stored state exactly is the adaptation loop's
+        # steady state; it must not invalidate outstanding snapshots.
+        store.update_entry(
+            entry_id, key=key, radius=0.2, value=_record(4, items=12)
+        )
+        assert store.generation == generation
+        assert not candidates.is_stale()
+        candidates.columns()  # does not raise
+
+    def test_real_radius_change_bumps_generation(self, rng):
+        store, m, entry_id, key = self._one_entry(rng)
+        candidates = store.candidate_set(m.rows())
+        generation = store.generation
+        row = store.update_entry(entry_id, radius=0.3)
+        assert store.generation == generation + 1
+        assert store.radius_of(row) == 0.3
+        assert candidates.is_stale()
+        with pytest.raises(StaleCandidateError):
+            candidates.columns()
+
+    def test_real_key_and_value_changes_bump_generation(self, rng):
+        store, __, entry_id, key = self._one_entry(rng)
+        generation = store.generation
+        store.update_entry(entry_id, value=_record(4, items=13))
+        assert store.generation == generation + 1
+        store.update_entry(entry_id, key=rng.random(3))
+        assert store.generation == generation + 2
+
+    def test_all_none_update_is_noop(self, rng):
+        store, __, entry_id, __key = self._one_entry(rng)
+        generation = store.generation
+        store.update_entry(entry_id)
+        assert store.generation == generation
+
+    def test_equal_payload_object_still_swapped_in(self, rng):
+        store, __, entry_id, __key = self._one_entry(rng)
+        replacement = _record(4, items=12)
+        row = store.update_entry(entry_id, value=replacement)
+        assert store.value_of(row) is replacement
+
+
+class TestBatchedRemoval:
+    def _twin_stores(self, seed, n=60, n_peers=5):
+        """Two identically populated stores with identical memberships."""
+        stores = []
+        for __ in range(2):
+            rng = np.random.default_rng(seed)
+            store = LevelStore(
+                3, compact_min_tombstones=1, compact_fraction=0.1
+            )
+            memberships = [store.new_membership() for _ in range(4)]
+            for row in _populate(store, n, 3, rng, n_peers=n_peers):
+                memberships[0].add(row)
+                for m in memberships[1:]:
+                    if rng.random() < 0.4:
+                        m.add(row)
+            stores.append((store, memberships))
+        return stores
+
+    @staticmethod
+    def _identity(store, memberships):
+        """Row-index-free snapshot: entry ids, keys, and held sets."""
+        live = {
+            int(store.entry_id_of(int(row))): (
+                tuple(store.key_of(int(row))),
+                store.radius_of(int(row)),
+                store.view(int(row)).peer_id,
+            )
+            for row in store.live_rows()
+        }
+        held = [
+            {int(store.entry_id_of(int(row))) for row in m.rows()}
+            for m in memberships
+        ]
+        return live, held
+
+    def test_batched_matches_sequential_reference(self):
+        (batched, b_members), (sequential, s_members) = self._twin_stores(7)
+        doomed = sorted(
+            int(sequential.entry_id_of(int(row)))
+            for row in sequential.rows_for_peer(2)
+        )
+        assert doomed  # the workload must actually exercise removal
+        removed = batched.remove_peer_entries(2)
+        for entry_id in doomed:
+            assert sequential.remove_entry(entry_id)
+        sequential.maybe_compact()
+        assert removed == len(doomed)
+        assert self._identity(batched, b_members) == self._identity(
+            sequential, s_members
+        )
+        batched.verify_integrity()
+        sequential.verify_integrity()
+
+    def test_unknown_peer_removes_nothing(self, rng):
+        store = LevelStore(3)
+        m = store.new_membership()
+        for row in _populate(store, 10, 3, rng):
+            m.add(row)
+        generation = store.generation
+        assert store.remove_peer_entries(999) == 0
+        assert store.generation == generation
+        assert store.n_live == 10
+
+
+class TestQueryHeat:
+    def test_union_bumps_heat_but_not_generation(self, rng):
+        store = LevelStore(3)
+        m = store.new_membership()
+        rows = _populate(store, 6, 3, rng)
+        for row in rows:
+            m.add(row)
+        candidates = store.candidate_set(m.rows())
+        generation = store.generation
+        merged = store.union_candidates(
+            [np.asarray(rows[:4]), np.asarray(rows[2:])]
+        )
+        assert len(merged.rows) == 6  # deduplicated union
+        # Heat is observational: outstanding snapshots stay valid.
+        assert store.generation == generation
+        assert not candidates.is_stale()
+        heat = store.sphere_heat()
+        assert all(heat[store.entry_id_of(r)] == 1 for r in rows)
+
+    def test_compaction_preserves_heat(self, rng):
+        store = LevelStore(3, compact_min_tombstones=1, compact_fraction=0.1)
+        m = store.new_membership()
+        rows = _populate(store, 20, 3, rng)
+        for row in rows:
+            m.add(row)
+        for __ in range(3):
+            store.union_candidates([np.asarray(rows[10:])])
+        before = store.sphere_heat()
+        m.discard_many(np.asarray(rows[:10], dtype=np.int64))
+        store.compact()
+        after = store.sphere_heat()
+        assert after == {
+            eid: heat for eid, heat in before.items() if eid in after
+        }
+        assert sum(after.values()) == 30  # 10 survivors x 3 queries
+
+
+class TestChurnProperties:
+    """Interleaved grow / tombstone / compact against a shadow model."""
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_ops_keep_store_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        d = 3
+        store = LevelStore(d, compact_min_tombstones=1, compact_fraction=0.25)
+        memberships = [store.new_membership() for __ in range(3)]
+        shadow: dict[int, tuple] = {}
+        held: dict[int, set] = {0: set(), 1: set(), 2: set()}
+        for __ in range(int(rng.integers(30, 80))):
+            op = rng.random()
+            if op < 0.55 or not shadow:
+                key = rng.random(d)
+                radius = float(rng.uniform(0.0, 0.5))
+                peer = int(rng.integers(5))
+                row = store.add(key, radius, _record(peer))
+                entry_id = store.entry_id_of(row)
+                shadow[entry_id] = (tuple(key), radius, peer)
+                memberships[0].add(row)
+                held[0].add(entry_id)
+                for index in (1, 2):
+                    if rng.random() < 0.5:
+                        memberships[index].add(row)
+                        held[index].add(entry_id)
+            elif op < 0.9:
+                entry_id = int(rng.choice(sorted(shadow)))
+                holders = [i for i in range(3) if entry_id in held[i]]
+                index = holders[int(rng.integers(len(holders)))]
+                memberships[index].discard(store.row_of(entry_id))
+                held[index].discard(entry_id)
+                if not any(entry_id in h for h in held.values()):
+                    del shadow[entry_id]  # last holder: tombstoned
+            else:
+                store.compact()
+            store.verify_integrity()
+        assert store.n_live == len(shadow)
+        for entry_id, (key, radius, peer) in shadow.items():
+            row = store.row_of(entry_id)
+            assert tuple(store.key_of(row)) == key
+            assert store.radius_of(row) == radius
+            assert store.view(row).peer_id == peer
+        for index, membership in enumerate(memberships):
+            got = {
+                int(store.entry_id_of(int(row)))
+                for row in membership.rows()
+            }
+            assert got == held[index]
+
+
 class TestParityProperties:
     """Store-backed filtering/scoring pinned to the scalar oracle."""
 

@@ -114,7 +114,8 @@ class TestBuildLoadmap:
 
     def test_sections(self, loadmap):
         assert set(loadmap) == {
-            "generations", "zones", "peers", "hotspots", "skew",
+            "generations", "zones", "peers", "sphere_heat", "hotspots",
+            "skew",
         }
 
     def test_generations_match_level_stores(self, network, loadmap):

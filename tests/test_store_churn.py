@@ -127,6 +127,41 @@ class TestChurnInvariants:
             assert ids_after
         _verify_all_stores(network)
 
+    def test_batched_reap_preserves_survivor_identity(self, network):
+        # remove_peer_entries sweeps every membership once; the post-state
+        # must be exactly "drop the peer's entry ids, touch nothing else".
+        for level, overlay in network.overlays.items():
+            store = overlay.level_store
+            doomed = {
+                int(store.entry_id_of(int(row)))
+                for row in store.rows_for_peer(4)
+            }
+            assert doomed
+            expected_live = {
+                int(store.entry_id_of(int(row)))
+                for row in store.live_rows()
+            } - doomed
+            expected_held = {
+                node_id: {
+                    int(store.entry_id_of(int(row)))
+                    for row in overlay.node(node_id).membership.rows()
+                } - doomed
+                for node_id in overlay.node_ids
+            }
+            removed = store.remove_peer_entries(4)
+            assert removed == len(doomed)
+            assert {
+                int(store.entry_id_of(int(row)))
+                for row in store.live_rows()
+            } == expected_live
+            for node_id, ids in expected_held.items():
+                got = {
+                    int(store.entry_id_of(int(row)))
+                    for row in overlay.node(node_id).membership.rows()
+                }
+                assert got == ids
+        _verify_all_stores(network)
+
     def test_churned_stores_still_answer_queries(self, network, rng):
         network.remove_peer(0, withdraw_summaries=True)
         network.withdraw_summaries(1)

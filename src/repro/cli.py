@@ -11,6 +11,8 @@ Usage::
     python -m repro profile fig8b --json
     python -m repro faults --loss 0 0.1 0.2 --crash-fraction 0.2
     python -m repro fig10a --fault-plan loss=0.1,seed=3
+    python -m repro fig8b --overlay kademlia
+    python -m repro matrix
     python -m repro all
 
 Each experiment prints the same series its benchmark target produces.
@@ -21,7 +23,9 @@ machine-readable JSON. ``trace`` records the experiment's span tree to
 JSONL; ``profile`` prints the per-phase time/hops/bytes breakdown (see
 ``docs/observability.md``). ``faults`` sweeps range-query recall across
 message-loss rates, and ``--fault-plan`` runs *any* experiment on a
-lossy fabric (see ``docs/faults.md``).
+lossy fabric (see ``docs/faults.md``). ``--overlay`` selects the
+overlay backend for any experiment; ``matrix`` races every registered
+backend head-to-head on one workload.
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ from repro.evaluation.reporting import (
 )
 from repro.evaluation.resilience import run_fault_recall
 from repro.faults import parse_fault_plan, plan_scope
+from repro.overlay.registry import overlay_names, overlay_scope, resolve_overlay
 from repro.obs import TraceRecorder, tracing
 from repro.obs.profile import (
     flame_summary,
@@ -350,6 +355,21 @@ def _build_construction(args) -> ExperimentOutput:
     return ExperimentOutput("construction", records, text)
 
 
+def _build_matrix(args) -> ExperimentOutput:
+    from repro.evaluation.overlay_matrix import run_overlay_matrix
+
+    overlay = getattr(args, "overlay", None)
+    rows = run_overlay_matrix(**_filter_kwargs(run_overlay_matrix, _common(
+        args, overlays=(overlay,) if overlay else None,
+    )))
+    text = rows_to_table(
+        rows,
+        title="Overlay matrix — publish / delta-repair / query cost "
+        "per backend",
+    )
+    return ExperimentOutput("matrix", _records(rows), text)
+
+
 _COMMANDS = {
     "fig8a": (_build_fig8a, "Figure 8a: cluster replication overhead"),
     "fig8b": (_build_fig8b, "Figure 8b: hops per item vs data volume"),
@@ -371,6 +391,10 @@ _COMMANDS = {
     "adapt": (
         _build_adapt,
         "load adaptation: hotspot skew with the control loop on vs off",
+    ),
+    "matrix": (
+        _build_matrix,
+        "overlay matrix: publish/delta/query cost on every backend",
     ),
 }
 
@@ -553,6 +577,14 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         help="enable the load-adaptation control loop on every network "
         "the command builds (zone rebalancing, replication retuning, "
         "quality-scored multicast; see docs/architecture.md)",
+    )
+    parser.add_argument(
+        "--overlay",
+        choices=overlay_names(),
+        default=None,
+        help="overlay backend for every network the command builds "
+        "(default: can); for the matrix command this restricts the "
+        "sweep to one backend",
     )
 
 
@@ -749,6 +781,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.overlay.adapt import AdaptConfig, adapt_scope
 
         with adapt_scope(AdaptConfig()):
+            return _run_with_overlay(args)
+    return _run_with_overlay(args)
+
+
+def _run_with_overlay(args) -> int:
+    name = getattr(args, "overlay", None)
+    if name:
+        # Ambient backend: every HyperMNetwork the command builds adopts
+        # this overlay factory (see repro.overlay.registry.overlay_scope).
+        with overlay_scope(resolve_overlay(name)):
             return _run_with_faults(args)
     return _run_with_faults(args)
 

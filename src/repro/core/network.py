@@ -14,7 +14,9 @@ from repro.obs import flight as obs_flight
 from repro.obs import registry as obs_registry
 from repro.obs import trace as obs_trace
 from repro.overlay.adapt import AdaptationController, active_adapt_config
+from repro.overlay.base import maintenance_plane
 from repro.overlay.can import CANNetwork
+from repro.overlay.registry import active_overlay_factory
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.wavelets.bounds import key_space_radius, to_unit_cube
 from repro.wavelets.multiresolution import Level, publication_levels
@@ -80,9 +82,11 @@ class HyperMNetwork:
         peer's clustering.
     overlay_factory:
         Callable ``(dimensionality, *, fabric, rng, node_id_offset) ->
-        Overlay``; defaults to :class:`repro.overlay.can.CANNetwork`.
-        Swap in :class:`repro.overlay.ring.RingNetwork` to demonstrate
-        overlay independence.
+        Overlay``. When ``None``, the ambient factory installed by the
+        CLI's ``--overlay`` flag (:mod:`repro.overlay.registry`) wins,
+        then :class:`repro.overlay.can.CANNetwork`. Any registered
+        backend (ring, BATON, VBI, Kademlia) demonstrates overlay
+        independence.
 
     Examples
     --------
@@ -112,7 +116,7 @@ class HyperMNetwork:
         self.dimensionality = int(dimensionality)
         self.fabric = fabric if fabric is not None else Network()
         self._rng = ensure_rng(rng)
-        factory = overlay_factory or CANNetwork
+        factory = overlay_factory or active_overlay_factory() or CANNetwork
         overlay_rngs = spawn_rngs(self._rng, len(self.levels))
         self.overlays = {
             level: factory(
@@ -446,7 +450,7 @@ class HyperMNetwork:
             "publish_delta", peer=peer_id
         ) as delta_span, obs_flight.state.recorder.operation(
             "publish_delta", peer=peer_id
-        ):
+        ) as flight_op:
             with recorder.span("delta_build", peer=peer_id) as build_span:
                 delta = peer.build_delta(
                     n_clusters=self.config.n_clusters,
@@ -470,7 +474,7 @@ class HyperMNetwork:
             report = DisseminationReport(items_published=items_changed)
             bytes_before = self.fabric.metrics.total_bytes
             energy_before = self.fabric.energy.total
-            self._apply_delta(peer_id, delta, report, recorder)
+            self._apply_delta(peer_id, delta, report, recorder, flight_op)
             report.bytes_sent = self.fabric.metrics.total_bytes - bytes_before
             report.energy = self.fabric.energy.total - energy_before
             delta_span.set(
@@ -502,7 +506,8 @@ class HyperMNetwork:
         return report
 
     def _apply_delta(
-        self, peer_id: int, delta, report: DisseminationReport, recorder
+        self, peer_id: int, delta, report: DisseminationReport, recorder,
+        flight_op,
     ) -> None:
         """Apply one :class:`SummaryDelta` to every level overlay.
 
@@ -513,11 +518,20 @@ class HyperMNetwork:
         while the peer was away, or tombstoned by the failure detector —
         are *revived* with a normal insert, so a delta round always leaves
         the overlays covering the peer's full published state.
+
+        Maintenance operations dispatch through
+        :func:`repro.overlay.base.maintenance_plane`. A backend without
+        the plane degrades to store-direct (uncharged) updates — and
+        that degradation is metered, never silent: the
+        ``publish.delta.fallback_full`` counter is bumped and the
+        publish-delta flight operation is annotated with the backend
+        class.
         """
         peer = self.peers[peer_id]
         state = peer.epoch_state
         for level in self.levels:
             overlay = self.overlays[level]
+            plane = maintenance_plane(overlay)
             store = overlay.level_store
             origin = self.overlay_node(level, peer_id)
             level_delta = delta.per_level[level]
@@ -538,12 +552,13 @@ class HyperMNetwork:
                 ]
                 retract_hops = 0
                 if live_doomed:
-                    if hasattr(overlay, "retract_entries"):
-                        retract_hops = overlay.retract_entries(
+                    if plane is not None:
+                        retract_hops = plane.retract_entries(
                             origin, live_doomed
                         )
                         report.routing_hops += retract_hops
                     else:
+                        self._note_delta_fallback(flight_op, overlay)
                         for eid in live_doomed:
                             store.remove_entry(eid)
                         store.maybe_compact()
@@ -564,13 +579,14 @@ class HyperMNetwork:
                     patches.append((eid, radius, record))
                 patch_hops = extend_hops = 0
                 if patches:
-                    if hasattr(overlay, "patch_entries"):
-                        patch_hops, extend_hops = overlay.patch_entries(
+                    if plane is not None:
+                        patch_hops, extend_hops = plane.patch_entries(
                             origin, patches
                         )
                         report.routing_hops += patch_hops
                         report.replica_hops += extend_hops
                     else:
+                        self._note_delta_fallback(flight_op, overlay)
                         for eid, radius, record in patches:
                             store.update_entry(
                                 eid, radius=radius, value=record
@@ -616,6 +632,20 @@ class HyperMNetwork:
                     routing_hops=routing,
                     replica_hops=extend_hops + replicas,
                 )
+
+    @staticmethod
+    def _note_delta_fallback(flight_op, overlay) -> None:
+        """Meter a maintenance-plane miss during delta application.
+
+        Bumps ``publish.delta.fallback_full`` and annotates the current
+        publish-delta flight operation so a deployment quietly running
+        degraded maintenance shows up in every metrics snapshot and
+        flight export.
+        """
+        obs_registry.metrics().counter("publish.delta.fallback_full").inc()
+        flight_op.set(
+            fallback_full=True, overlay=type(overlay).__name__
+        )
 
     def republish_peer(
         self, peer_id: int, *, full: bool = False

@@ -55,11 +55,13 @@ def build_markov_network(
     config: HyperMConfig | None = None,
     rng=None,
     publish: bool = True,
+    overlay_factory=None,
 ) -> tuple[MarkovWorkload, object]:
     """Build and publish a Markov-data Hyper-M network.
 
     Returns ``(workload, dissemination_report)``; the report is ``None``
-    when ``publish`` is false.
+    when ``publish`` is false. ``overlay_factory`` selects the overlay
+    backend (default: the ambient ``--overlay`` choice, else CAN).
     """
     generator = ensure_rng(rng)
     data_rng, part_rng, net_rng = spawn_rngs(generator, 3)
@@ -73,7 +75,9 @@ def build_markov_network(
         item_ids=item_ids,
         rng=part_rng,
     )
-    network = HyperMNetwork(dimensionality, config, rng=net_rng)
+    network = HyperMNetwork(
+        dimensionality, config, rng=net_rng, overlay_factory=overlay_factory
+    )
     for peer_data, peer_ids in parts:
         network.add_peer(peer_data, peer_ids)
     report = network.publish_all() if publish else None
@@ -93,6 +97,7 @@ def build_histogram_network(
     rng=None,
     publish: bool = True,
     holdout_fraction: float = 0.0,
+    overlay_factory=None,
 ) -> HistogramWorkload:
     """Build and publish an ALOI-style histogram network.
 
@@ -124,7 +129,9 @@ def build_histogram_network(
         item_ids=item_ids[used_idx],
         rng=part_rng,
     )
-    network = HyperMNetwork(n_bins, config, rng=net_rng)
+    network = HyperMNetwork(
+        n_bins, config, rng=net_rng, overlay_factory=overlay_factory
+    )
     for peer_data, peer_ids in parts:
         network.add_peer(peer_data, peer_ids)
     if publish:

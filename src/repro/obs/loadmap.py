@@ -186,6 +186,11 @@ def build_loadmap(network, *, top_k: int = 10) -> dict:
     Zone rows are per (level, overlay-node); peer rows aggregate each
     peer's nodes across every level. Both are sorted by their ids so two
     snapshots of the same state diff cleanly.
+
+    On zoneless overlays (ring, BATON, VBI, Kademlia — anything with
+    ``zone_geometry`` False) the ``zones`` section, its hotspot ranking
+    and its skew statistics are simply empty; peer rows and peer skew
+    are always present, computed from the same per-node ledger records.
     """
     fabric = network.fabric
     ledger = getattr(fabric, "load", None) or LoadLedger()
@@ -225,6 +230,13 @@ def build_loadmap(network, *, top_k: int = 10) -> dict:
                     for entry_id, count in top
                 ],
             }
+        # Zone rows only exist where the overlay partitions the key space
+        # into geometric zones (CAN); zoneless substrates (ring arcs,
+        # tree ranges, XOR buckets) contribute no zone rows rather than
+        # fabricated zero-volume ones. Per-peer aggregation below always
+        # runs from the same per-node records, so peer rows and their
+        # skew statistics stay complete on every backend.
+        has_zones = bool(getattr(overlay, "zone_geometry", False))
         for node_id in sorted(overlay.node_ids):
             node = overlay.node(node_id)
             load = ledger.node_load(node_id)
@@ -239,7 +251,8 @@ def build_loadmap(network, *, top_k: int = 10) -> dict:
                 "energy": energy.node_energy(node_id),
                 **load.to_record(),
             }
-            zone_rows.append(row)
+            if has_zones:
+                zone_rows.append(row)
             peer_id = row["peer"]
             if peer_id is None:
                 continue

@@ -7,23 +7,47 @@ replication for non-zero-sized (sphere) objects (paper Figure 6), and the
 departure protocol (zone merge / sibling-pair handoff / temporary
 multi-zone takeover).
 
-Two further substrates back the paper's overlay-independence claim:
+Four further substrates back the paper's overlay-independence claim:
 
 * :mod:`repro.overlay.baton` — BATON [Jagadish, Ooi, Vu, VLDB 2005], the
   balanced tree overlay the paper names explicitly;
 * :mod:`repro.overlay.vbi` — the VBI-tree [ICDE 2006], the paper's third
   named overlay: a distributed KD-tree with virtual internal nodes,
   natively multi-dimensional;
-* :mod:`repro.overlay.ring` — a Chord-style ring.
+* :mod:`repro.overlay.ring` — a Chord-style ring;
+* :mod:`repro.overlay.kademlia` — a Kademlia-style XOR DHT with
+  k-buckets and α-concurrent iterative lookups.
 
-BATON and the ring index multi-dimensional keys through the Z-order
-machinery shared in :mod:`repro.overlay.morton`; the VBI-tree partitions
-the multi-dimensional space directly.
+BATON, the ring and Kademlia index multi-dimensional keys through the
+Z-order machinery shared in :mod:`repro.overlay.morton`; the VBI-tree
+partitions the multi-dimensional space directly.
+
+Capabilities beyond the minimal data-plane contract are expressed as
+*planes* (:mod:`repro.overlay.base`): the maintenance plane (in-place
+delta publication) and the adaptation plane (the load-adaptation control
+surface). :mod:`repro.overlay.registry` maps CLI names to backends and
+carries the ambient ``--overlay`` selection.
 """
 
-from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt, StoredEntry
+from repro.overlay.base import (
+    AdaptationPlane,
+    InsertReceipt,
+    MaintenancePlane,
+    Overlay,
+    RangeReceipt,
+    StoredEntry,
+    adaptation_plane,
+    maintenance_plane,
+)
 from repro.overlay.baton import BatonNetwork
 from repro.overlay.can import CANNetwork, Zone
+from repro.overlay.kademlia import KademliaNetwork
+from repro.overlay.registry import (
+    OVERLAYS,
+    overlay_names,
+    overlay_scope,
+    resolve_overlay,
+)
 from repro.overlay.ring import RingNetwork
 from repro.overlay.vbi import VBITree
 
@@ -32,9 +56,18 @@ __all__ = [
     "StoredEntry",
     "InsertReceipt",
     "RangeReceipt",
+    "MaintenancePlane",
+    "AdaptationPlane",
+    "maintenance_plane",
+    "adaptation_plane",
     "CANNetwork",
     "Zone",
     "RingNetwork",
     "BatonNetwork",
     "VBITree",
+    "KademliaNetwork",
+    "OVERLAYS",
+    "overlay_names",
+    "overlay_scope",
+    "resolve_overlay",
 ]

@@ -7,17 +7,20 @@ Gini / max-over-mean skew statistics). This module closes the loop: an
 snapshot per *epoch* (every ``epoch_queries`` range queries) and reacts
 along four axes:
 
-* **Zone rebalancing** — a zone whose byte traffic exceeds
-  ``split_threshold`` × the level mean is split and half is handed to
-  the hot node's least-loaded neighbour
-  (:meth:`repro.overlay.can.network.CANNetwork.rebalance_zone`, the
-  GeoP2P idiom).
+* **Hot-owner rebalancing** — a node whose byte traffic exceeds
+  ``split_threshold`` × the level mean sheds load through the overlay's
+  own rebalance action
+  (:meth:`~repro.overlay.base.AdaptationPlane.rebalance_hot`: CAN
+  splits the hot zone and hands half to the least-loaded neighbour —
+  the GeoP2P idiom — while Kademlia bulk-replicates to the XOR-nearest
+  peer).
 * **Replication retuning** — spheres whose query heat grew this epoch
-  gain extra replicas on adjacent least-loaded nodes
-  (:func:`repro.overlay.can.replication.boost_replication`); boosted
-  spheres that went cold shed the extras
-  (:func:`~repro.overlay.can.replication.shed_replication`). Both reuse
-  the shared-row membership machinery — no withdraw + republish round.
+  gain extra replicas on least-loaded nodes
+  (:meth:`~repro.overlay.base.AdaptationPlane.boost_replication`);
+  boosted spheres that went cold shed the extras
+  (:meth:`~repro.overlay.base.AdaptationPlane.shed_replication`). Both
+  reuse the shared-row membership machinery — no withdraw + republish
+  round.
 * **Quality-scored multicast** — retrieval requests fan out through a
   small relay tree rooted at the highest-quality peers (fewest
   retransmits/drops in the :class:`~repro.obs.loadmap.LoadLedger`),
@@ -27,6 +30,14 @@ along four axes:
 * **Quality-biased routing** — overlay greedy routing breaks distance
   ties towards low-penalty nodes (``route_penalty`` hook); the owner
   reached, and therefore all stored state, is unchanged.
+
+The controller is overlay-generic: it dispatches every action through
+:func:`repro.overlay.base.adaptation_plane`, so any backend
+implementing :class:`~repro.overlay.base.AdaptationPlane` (CAN,
+Kademlia) adapts, and any backend without the plane degrades gracefully
+— skipped, with the miss metered on the
+``overlay.plane.adaptation.missing`` counter — never via ``hasattr``
+probing.
 
 Every decision is recorded as an :class:`AdaptationDecision`; given the
 same seed and fault plan the decision sequence is bit-identical across
@@ -45,8 +56,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.exceptions import ValidationError
-from repro.obs.loadmap import build_loadmap
-from repro.overlay.can.replication import boost_replication, shed_replication
+from repro.overlay.base import adaptation_plane
 
 
 @dataclass(frozen=True)
@@ -81,7 +91,9 @@ class AdaptConfig:
         Range queries per adaptation epoch (0 = only explicit
         :meth:`AdaptationController.run_epoch` calls).
     top_k:
-        Hotspot ranking depth requested from :func:`build_loadmap`.
+        Hotspot ranking depth for loadmap reporting around the control
+        loop (the loop itself consumes the adaptation plane's per-node
+        load snapshot, not a loadmap).
     """
 
     split_threshold: float = 3.0
@@ -166,8 +178,9 @@ class AdaptationController:
         self._sent: dict[tuple[int, int], set[int]] = {}
         if self.config.quality_routing:
             for overlay in network.overlays.values():
-                if hasattr(overlay, "route_penalty"):
-                    overlay.route_penalty = self.node_penalty
+                plane = adaptation_plane(overlay)
+                if plane is not None:
+                    plane.route_penalty = self.node_penalty
 
     # -- quality signals ------------------------------------------------------
 
@@ -273,33 +286,36 @@ class AdaptationController:
         return True
 
     def run_epoch(self) -> list[AdaptationDecision]:
-        """Consume one loadmap snapshot and apply every triggered action."""
+        """Snapshot every level's load and apply every triggered action.
+
+        Each level's overlay is consulted through
+        :func:`~repro.overlay.base.adaptation_plane`; backends without
+        the plane are skipped (the miss is metered) so mixed-capability
+        deployments adapt where they can.
+        """
         network = self.network
-        loadmap = build_loadmap(network, top_k=self.config.top_k)
-        by_level: dict[str, list[dict]] = {}
-        for row in loadmap["zones"]:
-            by_level.setdefault(row["level"], []).append(row)
         epoch = self.epochs
         made: list[AdaptationDecision] = []
         for level in network.levels:
-            overlay = network.overlays[level]
-            if not hasattr(overlay, "rebalance_zone"):
-                continue  # adaptation currently targets CAN-style overlays
-            made.extend(
-                self._rebalance(epoch, level, overlay, by_level.get(str(level), []))
-            )
-            made.extend(self._retune_replication(epoch, level, overlay))
+            plane = adaptation_plane(network.overlays[level])
+            if plane is None:
+                continue  # metered degradation: backend has no plane
+            made.extend(self._rebalance(epoch, level, plane))
+            made.extend(self._retune_replication(epoch, level, plane))
         self.decisions.extend(made)
         self.epochs += 1
         return made
 
-    def _rebalance(self, epoch, level, overlay, rows) -> list[AdaptationDecision]:
-        """Split zones whose traffic exceeds the max-over-mean threshold."""
+    def _rebalance(self, epoch, level, plane) -> list[AdaptationDecision]:
+        """Rebalance owners whose traffic exceeds the max-over-mean threshold."""
         config = self.config
-        if config.max_splits_per_epoch < 1 or len(rows) < 2:
+        if config.max_splits_per_epoch < 1:
+            return []
+        snapshot = plane.load_snapshot()
+        if len(snapshot) < 2:
             return []
         loads = sorted(
-            ((row["bytes_in"] + row["bytes_out"], row["node"]) for row in rows),
+            ((load, node_id) for node_id, load in snapshot.items()),
             key=lambda pair: (-pair[0], pair[1]),
         )
         mean = sum(load for load, __ in loads) / len(loads)
@@ -309,7 +325,7 @@ class AdaptationController:
         for load, node_id in loads[: config.max_splits_per_epoch]:
             if load <= config.split_threshold * mean:
                 break
-            target = overlay.rebalance_zone(int(node_id))
+            target = plane.rebalance_hot(int(node_id))
             if target is not None:
                 made.append(
                     AdaptationDecision(
@@ -318,12 +334,10 @@ class AdaptationController:
                 )
         return made
 
-    def _retune_replication(self, epoch, level, overlay) -> list[AdaptationDecision]:
+    def _retune_replication(self, epoch, level, plane) -> list[AdaptationDecision]:
         """Boost spheres whose heat grew this epoch; shed the gone-cold."""
         config = self.config
-        store = getattr(overlay, "level_store", None)
-        if store is None or not hasattr(store, "sphere_heat"):
-            return []
+        store = plane.level_store
         heat = store.sphere_heat()
         previous = self._prev_heat.get(level)
         self._prev_heat[level] = heat
@@ -341,8 +355,8 @@ class AdaptationController:
                 key=lambda eid: (-deltas[eid], eid),
             )[: config.max_boosts_per_epoch]
             for entry_id in hot:
-                added = boost_replication(
-                    overlay, store.row_of(entry_id), config.boost_replicas
+                added = plane.boost_replication(
+                    store.row_of(entry_id), config.boost_replicas
                 )
                 if added:
                     boosted.add(entry_id)
@@ -358,7 +372,7 @@ class AdaptationController:
                 if eid in heat and deltas.get(eid, 0) == 0
             )
             for entry_id in cold:
-                shed = shed_replication(overlay, store.row_of(entry_id))
+                shed = plane.shed_replication(store.row_of(entry_id))
                 boosted.discard(entry_id)
                 if shed:
                     made.append(

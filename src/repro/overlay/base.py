@@ -1,9 +1,27 @@
-"""Abstract overlay interface and shared receipt types.
+"""Abstract overlay interface, capability planes, and shared receipt types.
 
 Hyper-M "works independently of the underlying overlay structure" (paper
 contribution 1); this interface is the contract it relies on: insert a
 (possibly sphere-shaped) keyed entry, and find all entries intersecting a
 query sphere, with hop accounting for both.
+
+Beyond the minimal :class:`Overlay` data-plane contract, two optional
+*capability planes* formalise what used to be ``hasattr`` duck-typing:
+
+* :class:`MaintenancePlane` — in-place index maintenance: patch live
+  entries, retract dead ones, and extend a grown sphere's replica set.
+  The delta publish pipeline (:meth:`HyperMNetwork.publish_delta`)
+  dispatches on this plane; a backend without it degrades to
+  store-direct updates, and that degradation is **metered** (a
+  ``overlay.plane.maintenance.missing`` counter), never silent.
+* :class:`AdaptationPlane` — the load-adaptation control surface: a
+  per-node load snapshot, hot-owner rebalancing, and replication
+  boost/shed. :class:`repro.overlay.adapt.AdaptationController`
+  dispatches on this plane the same metered way.
+
+Callers never ``hasattr``-probe an overlay: they go through
+:func:`maintenance_plane` / :func:`adaptation_plane`, which return the
+typed plane or ``None`` while counting every miss.
 """
 
 from __future__ import annotations
@@ -104,6 +122,12 @@ class RangeReceipt:
 class Overlay(abc.ABC):
     """Minimal overlay contract Hyper-M builds on."""
 
+    #: True when the overlay partitions the key space into geometric
+    #: zones (CAN). Zoneless substrates (ring arcs, tree ranges, XOR
+    #: buckets) leave this False so ``build_loadmap`` reports an empty
+    #: zone section instead of fabricating zero-volume rows.
+    zone_geometry = False
+
     @property
     @abc.abstractmethod
     def dimensionality(self) -> int:
@@ -129,3 +153,109 @@ class Overlay(abc.ABC):
     @abc.abstractmethod
     def lookup(self, origin: int, key: np.ndarray) -> RangeReceipt:
         """Point query: entries stored at the owner of ``key`` that contain it."""
+
+
+class MaintenancePlane(abc.ABC):
+    """In-place index maintenance: the delta publish pipeline's contract.
+
+    A backend implementing this plane lets :meth:`publish_delta` patch
+    and retract published entries without a withdraw + republish round.
+    All three operations account their traffic on the shared fabric.
+    """
+
+    @abc.abstractmethod
+    def patch_entries(self, origin: int, patches: list) -> tuple[int, int]:
+        """Update live entries in place from node ``origin``.
+
+        ``patches`` is a list of ``(entry_id, radius, value)`` triples
+        for live entries whose keys are unchanged. Returns
+        ``(patch_hops, replica_hops)`` — message hops spent patching
+        holders plus hops spent extending replication of grown spheres.
+        """
+
+    @abc.abstractmethod
+    def retract_entries(self, origin: int, entry_ids: list) -> int:
+        """Remove published entries from node ``origin``; returns hops."""
+
+    @abc.abstractmethod
+    def extend_replication(self, row: int, holder_ids) -> list[int]:
+        """Grow ``row``'s replica set after its radius increased.
+
+        ``holder_ids`` are the nodes currently holding the row. Every
+        node the grown sphere newly covers receives one ``REPLICATE``
+        message and adds the same store row; existing holders are never
+        re-sent anything. Returns the new holder ids.
+        """
+
+
+class AdaptationPlane(abc.ABC):
+    """Load-adaptation control surface consumed by the controller.
+
+    Implementors expose what the control loop needs: a deterministic
+    per-node load snapshot, a hot-owner rebalancing action, and
+    replication boost/shed for hot/cold spheres. The optional
+    ``route_penalty`` hook biases greedy routing tie-breaks towards
+    low-penalty nodes (``None`` keeps routing bit-identical).
+    """
+
+    #: Optional ``node_id -> float`` penalty installed by the
+    #: adaptation controller's quality-routing axis.
+    route_penalty = None
+
+    def load_snapshot(self) -> dict[int, int]:
+        """Deterministic ``{node_id: total bytes moved}`` load map."""
+        ledger = self.fabric.load
+        return {
+            node_id: ledger.node_load(node_id).bytes_total
+            for node_id in self.node_ids
+        }
+
+    @abc.abstractmethod
+    def rebalance_hot(
+        self, node_id: int, target_id: int | None = None
+    ) -> int | None:
+        """Shift load off a hot owner; returns the relieving node id.
+
+        Returns ``None`` when no rebalance is possible (no viable
+        target, or the hot node's territory cannot be split further).
+        """
+
+    @abc.abstractmethod
+    def boost_replication(self, row: int, extra: int) -> list[int]:
+        """Grant a hot row up to ``extra`` more replicas; new holder ids."""
+
+    @abc.abstractmethod
+    def shed_replication(self, row: int) -> list[int]:
+        """Drop a cold row's boosted replicas; returns the shedding ids."""
+
+
+def _count_missing(plane: str, overlay) -> None:
+    from repro.obs import registry as obs_registry
+
+    metrics = obs_registry.metrics()
+    metrics.counter(f"overlay.plane.{plane}.missing").inc()
+    metrics.counter(
+        f"overlay.plane.{plane}.missing.{type(overlay).__name__}"
+    ).inc()
+
+
+def maintenance_plane(overlay) -> MaintenancePlane | None:
+    """The overlay's maintenance plane, or a *metered* ``None``.
+
+    Every miss increments ``overlay.plane.maintenance.missing`` (plus a
+    per-backend-class counter), so a deployment quietly running on
+    degraded full-republish maintenance is visible in any metrics
+    snapshot.
+    """
+    if isinstance(overlay, MaintenancePlane):
+        return overlay
+    _count_missing("maintenance", overlay)
+    return None
+
+
+def adaptation_plane(overlay) -> AdaptationPlane | None:
+    """The overlay's adaptation plane, or a *metered* ``None``."""
+    if isinstance(overlay, AdaptationPlane):
+        return overlay
+    _count_missing("adaptation", overlay)
+    return None

@@ -9,7 +9,6 @@ import numpy as np
 from repro.exceptions import EmptyNetworkError, OverlayError, ValidationError
 from repro.index import LevelStore
 from repro.net.messages import (
-    BYTES_PER_SCALAR,
     HEADER_BYTES,
     MessageKind,
     vector_message_size,
@@ -17,15 +16,21 @@ from repro.net.messages import (
 from repro.net.network import Network
 from repro.obs import flight as obs_flight
 from repro.obs import trace as obs_trace
-from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
+from repro.overlay.base import (
+    AdaptationPlane,
+    InsertReceipt,
+    Overlay,
+    RangeReceipt,
+)
 from repro.overlay.can.node import CANNode
 from repro.overlay.can.routing import route_to_owner
 from repro.overlay.can.zone import Zone
+from repro.overlay.maintenance import StoreMaintenancePlane
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, check_unit_cube, check_vector
 
 
-class CANNetwork(Overlay):
+class CANNetwork(Overlay, StoreMaintenancePlane, AdaptationPlane):
     """A CAN overlay over the simulated MANET fabric.
 
     Parameters
@@ -50,6 +55,10 @@ class CANNetwork(Overlay):
     >>> can.lookup(ids[3], [0.2, 0.7]).entries[0].value
     'item'
     """
+
+    #: CAN partitions the key space into geometric zones, so
+    #: ``build_loadmap`` emits per-zone rows for it.
+    zone_geometry = True
 
     def __init__(
         self,
@@ -467,103 +476,33 @@ class CANNetwork(Overlay):
             )
         return receipt
 
-    def patch_entries(
-        self, origin: int, patches: list
-    ) -> tuple[int, int]:
-        """Update published entries in place from node ``origin``.
+    # patch_entries / retract_entries come from StoreMaintenancePlane; the
+    # geometry-specific hooks below complete the maintenance and
+    # adaptation planes by delegating to the CAN zone machinery.
 
-        ``patches`` is a list of ``(entry_id, radius, value)`` triples for
-        *live* entries whose keys are unchanged (the delta pipeline only
-        patches spheres whose centroid stayed put). Every node holding any
-        patched row receives **one** batched ``PUBLISH_DELTA`` message
-        carrying scalar fields only — entry id, new radius, new item
-        count per sphere — so a patch costs a fraction of the key-vector
-        traffic a tombstone + re-insert round would. Rows whose radius
-        grew are then propagated to newly overlapped zones via
-        :func:`repro.overlay.can.replication.extend_replication`.
+    def extend_replication(self, row: int, holder_ids) -> list[int]:
+        """Grow ``row``'s replica set to newly overlapped zones."""
+        from repro.overlay.can.replication import extend_replication
 
-        Returns ``(patch_hops, replica_hops)``.
-        """
-        if not patches:
-            return (0, 0)
-        with obs_flight.state.recorder.operation("patch", origin=origin):
-            store = self.level_store
-            rows = [store.row_of(entry_id) for entry_id, __, __ in patches]
-            row_set = set(rows)
-            holders_by_row: dict[int, list[int]] = {row: [] for row in row_set}
-            holder_counts: dict[int, int] = {}
-            for node_id in self._nodes:
-                membership = self.node(node_id).membership
-                held = [row for row in row_set if row in membership]
-                if not held:
-                    continue
-                holder_counts[node_id] = len(held)
-                for row in held:
-                    holders_by_row[row].append(node_id)
-            patch_hops = 0
-            for holder_id, count in holder_counts.items():
-                if holder_id == origin:
-                    continue  # patching a locally held row is free
-                size = HEADER_BYTES + 3 * BYTES_PER_SCALAR * count
-                self.fabric.transmit(
-                    origin, holder_id, MessageKind.PUBLISH_DELTA, size
-                )
-                patch_hops += 1
-            grown: list[int] = []
-            for (entry_id, radius, value), row in zip(
-                patches, rows, strict=True
-            ):
-                if float(radius) > store.radius_of(row):
-                    grown.append(row)
-                store.update_entry(entry_id, radius=radius, value=value)
-            replica_hops = 0
-            if grown:
-                from repro.overlay.can.replication import extend_replication
+        return extend_replication(self, row, holder_ids)
 
-                for row in grown:
-                    added = extend_replication(
-                        self, row, holders_by_row[row] or [origin]
-                    )
-                    replica_hops += len(added)
-            self.fabric.finish_operation(
-                MessageKind.PUBLISH_DELTA, patch_hops + replica_hops
-            )
-        return (patch_hops, replica_hops)
+    def rebalance_hot(
+        self, node_id: int, target_id: int | None = None
+    ) -> int | None:
+        """Adaptation-plane hot-owner action: split-and-hand-off a zone."""
+        return self.rebalance_zone(node_id, target_id)
 
-    def retract_entries(self, origin: int, entry_ids: list) -> int:
-        """Remove published entries from node ``origin``; returns hops.
+    def boost_replication(self, row: int, extra: int) -> list[int]:
+        """Grant a hot row up to ``extra`` frontier replicas."""
+        from repro.overlay.can.replication import boost_replication
 
-        The delta pipeline's removal plane: every node holding any doomed
-        row gets one batched ``PUBLISH_DELTA`` message listing the entry
-        ids to drop (scalar payload only), then the entries are removed
-        everywhere through the store's tombstone machinery and the store
-        compacts if past threshold.
-        """
-        if not entry_ids:
-            return 0
-        with obs_flight.state.recorder.operation("retract", origin=origin):
-            store = self.level_store
-            rows = {
-                store.row_of(entry_id)
-                for entry_id in entry_ids
-                if store.has_entry(entry_id)
-            }
-            hops = 0
-            for node_id in self._nodes:
-                membership = self.node(node_id).membership
-                count = sum(1 for row in rows if row in membership)
-                if count == 0 or node_id == origin:
-                    continue
-                size = HEADER_BYTES + BYTES_PER_SCALAR * count
-                self.fabric.transmit(
-                    origin, node_id, MessageKind.PUBLISH_DELTA, size
-                )
-                hops += 1
-            for entry_id in entry_ids:
-                store.remove_entry(entry_id)
-            store.maybe_compact()
-            self.fabric.finish_operation(MessageKind.PUBLISH_DELTA, hops)
-        return hops
+        return boost_replication(self, row, extra)
+
+    def shed_replication(self, row: int) -> list[int]:
+        """Drop a cold row's boosted, zone-disjoint replicas."""
+        from repro.overlay.can.replication import shed_replication
+
+        return shed_replication(self, row)
 
     def lookup(self, origin: int, key: np.ndarray) -> RangeReceipt:
         """Point query: entries at the owner of ``key`` whose spheres contain it."""

@@ -22,6 +22,7 @@ from repro.net.messages import MessageKind, vector_message_size
 from repro.net.network import Network
 from repro.net.node import SimNode
 from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
+from repro.overlay.maintenance import StoreMaintenancePlane
 from repro.overlay.storage import StoreBackedNode
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, check_unit_cube, check_vector
@@ -32,11 +33,14 @@ def bits_per_dim(dimensionality: int) -> int:
     return max(3, min(16, 24 // dimensionality))
 
 
-def morton_key(point: np.ndarray, bits: int) -> float:
-    """Map a unit-cube point to a scalar Z-order key in ``[0, 1)``.
+def morton_code(point: np.ndarray, bits: int) -> int:
+    """Map a unit-cube point to its integer Z-order code in ``[0, 2^(m·bits))``.
 
     Coordinates are quantised to ``bits`` bits and bit-interleaved
     (dimension 0 contributes the most significant bit of each group).
+    The Kademlia backend keeps this integer form as the XOR-metric key;
+    the ring/BATON backends normalise it to ``[0, 1)`` via
+    :func:`morton_key`.
     """
     p = np.asarray(point, dtype=np.float64)
     m = p.shape[0]
@@ -45,7 +49,14 @@ def morton_key(point: np.ndarray, bits: int) -> float:
     for bit in range(bits - 1, -1, -1):
         for dim in range(m):
             code = (code << 1) | ((int(cells[dim]) >> bit) & 1)
-    return code / float(1 << (m * bits))
+    return code
+
+
+def morton_key(point: np.ndarray, bits: int) -> float:
+    """Map a unit-cube point to a scalar Z-order key in ``[0, 1)``."""
+    p = np.asarray(point, dtype=np.float64)
+    m = p.shape[0]
+    return morton_code(p, bits) / float(1 << (m * bits))
 
 
 def covering_intervals(
@@ -112,7 +123,7 @@ class MortonNode(SimNode, StoreBackedNode):
         self._init_storage()
 
 
-class MortonOverlayBase(Overlay, abc.ABC):
+class MortonOverlayBase(Overlay, StoreMaintenancePlane, abc.ABC):
     """Insert/lookup/range-query logic over any Morton-ordered partition.
 
     Subclasses supply:
@@ -121,6 +132,11 @@ class MortonOverlayBase(Overlay, abc.ABC):
     * :meth:`_range_starts` — the current partition of ``[0, 1)`` as a
       sorted list of ``(start, node_id)`` pairs (node owns from its start
       to the next node's).
+
+    The shared :class:`~repro.overlay.maintenance.StoreMaintenancePlane`
+    makes every Morton-ordered backend delta-publish-capable;
+    :meth:`extend_replication` below completes that plane with interval
+    geometry.
     """
 
     def __init__(
@@ -299,6 +315,34 @@ class MortonOverlayBase(Overlay, abc.ABC):
         """The start of ``node_id``'s range (a key that routes to it)."""
         starts, ids = self._range_starts()
         return starts[ids.index(node_id)]
+
+    # -- maintenance plane -------------------------------------------------------
+
+    def extend_replication(self, row: int, holder_ids) -> list[int]:
+        """Replicate a grown row to newly covered Morton-interval owners.
+
+        Recomputes the sphere's interval cover at its post-growth radius
+        and sends one ``REPLICATE`` message (key + radius + payload
+        scalars, same size as insert-time replication) from the
+        lowest-id current holder to every covering node not yet holding
+        the row. Existing holders keep their copies untouched.
+        """
+        store = self.level_store
+        key = store.key_of(row)
+        radius = store.radius_of(row)
+        holders = set(holder_ids)
+        source = min(holders)
+        size = vector_message_size(self._dim, scalars=2)
+        added: list[int] = []
+        for node_id in self._sphere_interval_nodes(
+            np.clip(key, 0.0, 1.0), radius
+        ):
+            if node_id in holders:
+                continue
+            self.fabric.transmit(source, node_id, MessageKind.REPLICATE, size)
+            self.node(node_id).add_row(row)
+            added.append(node_id)
+        return added
 
     # -- introspection -----------------------------------------------------------
 

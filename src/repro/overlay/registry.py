@@ -1,0 +1,89 @@
+"""The overlay backend registry: name → class, plus the ambient default.
+
+The paper's first contribution is that Hyper-M "works independently of
+the underlying overlay structure"; this registry is where that claim
+becomes operational. Every registered backend satisfies the
+:class:`repro.overlay.base.Overlay` contract (and is pinned to it by the
+parametrized contract suite), so any of them can back a
+:class:`repro.core.network.HyperMNetwork`.
+
+The ambient scope mirrors :func:`repro.overlay.adapt.adapt_scope`: the
+CLI's ``--overlay`` flag installs a factory for the duration of a run,
+and ``HyperMNetwork`` consults :func:`active_overlay_factory` at
+construction time when no explicit ``overlay_factory`` is given.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.exceptions import ValidationError
+from repro.overlay.baton import BatonNetwork
+from repro.overlay.can import CANNetwork
+from repro.overlay.kademlia import KademliaNetwork
+from repro.overlay.ring import RingNetwork
+from repro.overlay.vbi import VBITree
+
+#: Every registered backend, by CLI name. Insertion order is the
+#: canonical presentation order (matrix experiment, docs, CI).
+OVERLAYS: dict[str, type] = {
+    "can": CANNetwork,
+    "ring": RingNetwork,
+    "baton": BatonNetwork,
+    "vbi": VBITree,
+    "kademlia": KademliaNetwork,
+}
+
+DEFAULT_OVERLAY = "can"
+
+
+def overlay_names() -> list[str]:
+    """Registered backend names, in canonical order."""
+    return list(OVERLAYS)
+
+
+def resolve_overlay(name: str) -> type:
+    """The backend class registered under ``name``."""
+    try:
+        return OVERLAYS[name]
+    except KeyError:
+        known = ", ".join(OVERLAYS)
+        raise ValidationError(
+            f"unknown overlay {name!r}; known backends: {known}"
+        ) from None
+
+
+def overlay_name_of(factory) -> str:
+    """The registry name of a backend class (best-effort; for labels)."""
+    for name, cls in OVERLAYS.items():
+        if cls is factory:
+            return name
+    return getattr(factory, "__name__", str(factory))
+
+
+# -- ambient factory (mirrors repro.overlay.adapt.adapt_scope) ----------------
+
+_active: type | None = None
+
+
+def active_overlay_factory() -> type | None:
+    """The factory new networks should adopt (``None`` = CAN default)."""
+    return _active
+
+
+def set_active_overlay_factory(factory: type | None) -> type | None:
+    """Install ``factory`` as the ambient default; returns the previous one."""
+    global _active
+    previous = _active
+    _active = factory
+    return previous
+
+
+@contextmanager
+def overlay_scope(factory: type | None):
+    """Make ``factory`` the ambient overlay default for the block."""
+    previous = set_active_overlay_factory(factory)
+    try:
+        yield factory
+    finally:
+        set_active_overlay_factory(previous)

@@ -35,6 +35,7 @@ from repro.net.messages import MessageKind, vector_message_size
 from repro.net.network import Network
 from repro.overlay.base import InsertReceipt, Overlay, RangeReceipt
 from repro.overlay.can.zone import Zone
+from repro.overlay.maintenance import StoreMaintenancePlane
 from repro.overlay.morton import MortonNode
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, check_unit_cube, check_vector
@@ -62,7 +63,7 @@ class _VirtualNode:
     manager_id: int = -1  # peer managing this virtual node
 
 
-class VBITree(Overlay):
+class VBITree(Overlay, StoreMaintenancePlane):
     """The VBI-tree overlay.
 
     Joins split the largest leaf region KD-style (cycling dimensions with
@@ -434,6 +435,33 @@ class VBITree(Overlay):
         for hop_id in path:
             self.fabric.transmit(prev, hop_id, kind, size)
             prev = hop_id
+
+    # -- maintenance plane -------------------------------------------------------
+
+    def extend_replication(self, row: int, holder_ids) -> list[int]:
+        """Replicate a grown row to newly intersected leaves.
+
+        Recomputes the sphere's leaf cover at its post-growth radius and
+        sends one ``REPLICATE`` message (same size as insert-time
+        replication) from the lowest-id current holder to every
+        intersecting leaf not yet holding the row.
+        """
+        store = self.level_store
+        key = store.key_of(row)
+        radius = store.radius_of(row)
+        holders = set(holder_ids)
+        source = min(holders)
+        size = vector_message_size(self._dim, scalars=2)
+        added: list[int] = []
+        for leaf_id in self._leaves_intersecting(
+            np.clip(key, 0.0, 1.0), radius
+        ):
+            if leaf_id in holders:
+                continue
+            self.fabric.transmit(source, leaf_id, MessageKind.REPLICATE, size)
+            self.node(leaf_id).add_row(row)
+            added.append(leaf_id)
+        return added
 
     # -- introspection -----------------------------------------------------------
 

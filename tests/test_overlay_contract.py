@@ -1,18 +1,30 @@
-"""The Overlay contract, verified uniformly across all four substrates.
+"""The Overlay contract, verified uniformly across all five substrates.
 
 Hyper-M only relies on the :class:`repro.overlay.base.Overlay` interface;
 these parametrised tests pin the behaviour every substrate must share, so
 a new overlay implementation can be validated by adding one line.
+``TestCapabilityPlanes`` pins which backends expose which plane, and
+``TestDeltaPublishParity`` pins the maintenance plane's core guarantee —
+delta repair leaves the index bit-equivalent to from-scratch publication
+— on *every* registered backend.
 """
 
 import numpy as np
 import pytest
 
 from repro.net.messages import MessageKind
-from repro.overlay import BatonNetwork, CANNetwork, RingNetwork, VBITree
+from repro.overlay import (
+    BatonNetwork,
+    CANNetwork,
+    KademliaNetwork,
+    RingNetwork,
+    VBITree,
+)
 from repro.overlay.base import Overlay
 
-FACTORIES = [CANNetwork, BatonNetwork, VBITree, RingNetwork]
+FACTORIES = [
+    CANNetwork, BatonNetwork, VBITree, RingNetwork, KademliaNetwork,
+]
 
 
 @pytest.fixture(params=FACTORIES, ids=lambda f: f.__name__)
@@ -120,3 +132,147 @@ class TestContract:
 
         with pytest.raises(ValidationError):
             overlay.insert(overlay.node_ids[0], [1.4, 0.2], "x")
+
+
+class TestCapabilityPlanes:
+    """Which backend exposes which plane — and metered degradation."""
+
+    def test_every_backend_has_a_maintenance_plane(self, overlay):
+        from repro.overlay.base import MaintenancePlane, maintenance_plane
+
+        assert isinstance(overlay, MaintenancePlane)
+        assert maintenance_plane(overlay) is overlay
+
+    def test_adaptation_plane_presence(self, overlay):
+        from repro.overlay.base import AdaptationPlane, adaptation_plane
+
+        expected = isinstance(overlay, (CANNetwork, KademliaNetwork))
+        assert isinstance(overlay, AdaptationPlane) is expected
+        plane = adaptation_plane(overlay)
+        assert (plane is overlay) is expected
+
+    def test_missing_plane_is_metered(self):
+        from repro.obs import registry as obs_registry
+        from repro.obs.registry import metrics_scope
+        from repro.overlay.base import adaptation_plane
+
+        ring = RingNetwork(2, rng=0)
+        ring.grow(4)
+        with metrics_scope():
+            assert adaptation_plane(ring) is None
+            metrics = obs_registry.metrics()
+            assert metrics.counter(
+                "overlay.plane.adaptation.missing"
+            ).value == 1
+            assert metrics.counter(
+                "overlay.plane.adaptation.missing.RingNetwork"
+            ).value == 1
+
+    def test_load_snapshot_covers_every_node(self, overlay):
+        from repro.overlay.base import adaptation_plane
+
+        plane = adaptation_plane(overlay)
+        if plane is None:
+            pytest.skip("backend has no adaptation plane")
+        snapshot = plane.load_snapshot()
+        assert set(snapshot) == set(overlay.node_ids)
+
+
+# -- delta-publish parity on every registered backend -------------------------
+
+PARITY_DIM = 8
+PARITY_CONFIG = dict(levels_used=2, n_clusters=3)
+PARITY_PEERS = 3
+PARITY_ITEMS = 12
+
+
+def _parity_network(factory, rng_seed: int):
+    from repro.core.network import HyperMConfig, HyperMNetwork
+
+    net = HyperMNetwork(
+        PARITY_DIM, HyperMConfig(**PARITY_CONFIG),
+        rng=rng_seed, overlay_factory=factory,
+    )
+    data_rng = np.random.default_rng(rng_seed)
+    for p in range(PARITY_PEERS):
+        net.add_peer(
+            data_rng.random((PARITY_ITEMS, PARITY_DIM)),
+            np.arange(p * PARITY_ITEMS, (p + 1) * PARITY_ITEMS),
+        )
+    net.publish_all()
+    return net
+
+
+@pytest.mark.parametrize(
+    "factory", FACTORIES, ids=lambda f: f.__name__
+)
+class TestDeltaPublishParity:
+    """Delta repair ≡ from-scratch publication, on every backend.
+
+    The maintenance plane's in-place patches/retractions must leave the
+    overlay state bit-equivalent (1e-9 Eq. 1 score parity) to publishing
+    the same summaries from scratch, and Theorem 4.1's no-false-dismissal
+    guarantee must survive the churn.
+    """
+
+    def test_delta_matches_scratch_publication(self, factory):
+        from repro.core.baselines import CentralizedIndex
+        from repro.core.network import HyperMConfig, HyperMNetwork
+        from repro.core.queries import index_phase
+
+        net = _parity_network(factory, rng_seed=3)
+        mut_rng = np.random.default_rng(11)
+        next_id = 10_000
+        for peer_id in sorted(net.peers):
+            peer = net.peers[peer_id]
+            count = int(mut_rng.integers(2, 5))
+            peer.add_items(
+                mut_rng.random((count, PARITY_DIM)),
+                np.arange(next_id, next_id + count),
+            )
+            next_id += count
+            victims = mut_rng.choice(
+                peer.item_ids[:PARITY_ITEMS], size=2, replace=False
+            )
+            peer.remove_items(victims)
+            net.republish_peer(peer_id)
+
+        # Twin: the *same* summaries published from scratch on the same
+        # backend. Its overlay state is what delta repair claims to have
+        # maintained in place.
+        rebuilt = HyperMNetwork(
+            PARITY_DIM, HyperMConfig(**PARITY_CONFIG),
+            rng=4, overlay_factory=factory,
+        )
+        for peer_id in sorted(net.peers):
+            peer = net.peers[peer_id]
+            rebuilt.add_peer(peer.data.copy(), peer.item_ids.copy())
+        for peer_id in sorted(net.peers):
+            rebuilt.publish_peer(
+                peer_id, summary=net.peers[peer_id].summary
+            )
+
+        truth_index = CentralizedIndex.from_network(net)
+        query_rng = np.random.default_rng(17)
+        picks = query_rng.integers(0, truth_index.data.shape[0], size=3)
+        origin = next(iter(net.peers))
+        for query in truth_index.data[picks]:
+            distances = np.linalg.norm(truth_index.data - query, axis=1)
+            radius = float(np.quantile(distances, 0.2))
+
+            ours, __ = index_phase(net, query, radius, origin_peer=origin)
+            reference, __ = index_phase(
+                rebuilt, query, radius, origin_peer=origin
+            )
+            assert set(ours) == set(reference)
+            for peer_id, expected in reference.items():
+                assert abs(ours[peer_id] - expected) <= 1e-9 * max(
+                    1.0, abs(expected)
+                ), f"peer {peer_id} score drifted on {factory.__name__}"
+
+            truth = set(truth_index.range_search(query, radius))
+            got = net.range_query(query, radius, max_peers=None)
+            assert set(got.item_ids) == truth
+
+        for overlay in net.overlays.values():
+            overlay.level_store.verify_integrity()

@@ -18,27 +18,32 @@ Exits non-zero when any compared speedup field in the fresh report is
 more than ``--max-regression`` (default 20%) below the baseline. Fields
 present in only one of the two reports are skipped with a note (new
 benchmarks don't fail old baselines and vice versa).
+
+Under GitHub Actions (``GITHUB_STEP_SUMMARY`` set) each run also appends
+a per-metric markdown table to the job summary, so the ratio drift is
+readable from the run page without opening logs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: Headline ratio fields compared when present in both reports.
 SPEEDUP_FIELDS = (
-    "speedup", "list_speedup", "bytes_speedup", "hops_speedup",
-    "adapt_skew_speedup",
+    "speedup", "cold_speedup", "list_speedup", "bytes_speedup",
+    "hops_speedup", "adapt_skew_speedup",
 )
 
 
 def compare(
     baseline: dict, fresh: dict, *, max_regression: float
-) -> list[str]:
-    """Return a list of failure messages (empty means the gate passes)."""
+) -> tuple[list[str], list[dict]]:
+    """Compare the reports; returns (failure messages, per-metric rows)."""
     failures: list[str] = []
-    compared = 0
+    rows: list[dict] = []
     for field in SPEEDUP_FIELDS:
         if field not in baseline and field not in fresh:
             continue
@@ -50,9 +55,12 @@ def compare(
         if base <= 0:
             print(f"note: baseline {field!r} is {base}; skipped")
             continue
-        compared += 1
         change = (new - base) / base
         status = "OK" if change >= -max_regression else "REGRESSION"
+        rows.append({
+            "field": field, "baseline": base, "fresh": new,
+            "change": change, "status": status,
+        })
         print(
             f"{field}: baseline {base:.2f}x -> fresh {new:.2f}x "
             f"({change:+.1%}) [{status}]"
@@ -63,11 +71,38 @@ def compare(
                 f"(limit {max_regression:.0%}): "
                 f"{base:.2f}x -> {new:.2f}x"
             )
-    if compared == 0:
+    if not rows:
         failures.append(
             "no speedup fields were comparable between the two reports"
         )
-    return failures
+    return failures, rows
+
+
+def render_summary(name: str, rows: list[dict]) -> str:
+    """Per-metric markdown table for the GitHub Actions job summary."""
+    lines = [
+        f"### Bench regression gate — {name}",
+        "",
+        "| metric | baseline | fresh | change | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        marker = "✅" if row["status"] == "OK" else "❌"
+        lines.append(
+            f"| {row['field']} | {row['baseline']:.2f}x "
+            f"| {row['fresh']:.2f}x | {row['change']:+.1%} "
+            f"| {marker} {row['status']} |"
+        )
+    return "\n".join(lines) + "\n\n"
+
+
+def write_step_summary(name: str, rows: list[dict]) -> None:
+    """Append the markdown table to ``$GITHUB_STEP_SUMMARY`` when set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    with open(path, "a") as handle:
+        handle.write(render_summary(name, rows))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,9 +122,10 @@ def main(argv: list[str] | None = None) -> int:
         fresh = json.load(handle)
     name = baseline.get("benchmark", args.baseline)
     print(f"bench-regression gate: {name}")
-    failures = compare(
+    failures, rows = compare(
         baseline, fresh, max_regression=args.max_regression
     )
+    write_step_summary(name, rows)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -499,6 +499,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-dir", default=None, metavar="DIR",
         help="fuse every BENCH_*.json found in this directory",
     )
+
+    serve_parser = sub.add_parser(
+        "serve-bench",
+        help="drive the batched serving engine open-loop; report the "
+        "batched-vs-sequential speedup, QPS, and p50/p99 latency",
+    )
+    _add_common_args(serve_parser)
+    serve_parser.add_argument(
+        "--queries", type=int, default=96, metavar="N",
+        help="length of the Zipf-skewed hot query stream (default: 96)",
+    )
+    serve_parser.add_argument(
+        "--distinct", type=int, default=24, metavar="N",
+        help="distinct queries behind the hot stream (default: 24)",
+    )
+    serve_parser.add_argument(
+        "--epsilon", type=float, default=0.25,
+        help="range-query radius in the original space (default: 0.25)",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=16, metavar="B",
+        help="queries coalesced per stacked intersection pass "
+        "(default: 16)",
+    )
+    serve_parser.add_argument(
+        "--max-peers", type=int, default=3, metavar="N",
+        help="retrieval contact budget per query (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timing repeats; the minimum ratio is reported (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--load-fraction", type=float, default=0.8, metavar="F",
+        help="open-loop offered rate as a fraction of measured "
+        "steady-state capacity (default: 0.8)",
+    )
+    serve_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report JSON to this path",
+    )
     return parser
 
 
@@ -734,6 +775,63 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    """Run the serving benchmark; print the headline numbers.
+
+    Same runner as ``benchmarks/test_query_serve.py`` (which adds the CI
+    gates); this command exposes it interactively with the scale presets
+    and ambient overlay/fault/adapt scopes.
+    """
+    from repro.evaluation.serving import run_serve_bench
+
+    params = _common(args)
+    with metrics_scope():
+        report = run_serve_bench(
+            n_peers=params["n_peers"],
+            items_per_peer=params["items_per_peer"],
+            seed=args.seed,
+            n_distinct=args.distinct,
+            n_queries=args.queries,
+            epsilon=args.epsilon,
+            max_peers=args.max_peers,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+            load_fraction=args.load_fraction,
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, default=_json_default)
+            handle.write("\n")
+        print(f"serve-bench: wrote {args.out}")
+    if getattr(args, "json", False):
+        print(json.dumps(report, indent=2, default=_json_default))
+        return 0
+    load = report["load"]
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["hot speedup (batched vs sequential)",
+             f"{report['speedup']:.2f}x"],
+            ["cold speedup (caches empty)",
+             f"{report['cold_speedup']:.2f}x"],
+            ["sequential throughput", f"{report['sequential_qps']:.0f} qps"],
+            ["batched throughput", f"{report['batched_qps']:.0f} qps"],
+            ["open-loop offered", f"{load['offered_qps']:.0f} qps"],
+            ["open-loop completed", f"{load['completed_qps']:.0f} qps"],
+            ["open-loop p50", f"{load['p50_ms']:.2f} ms"],
+            ["open-loop p99", f"{load['p99_ms']:.2f} ms"],
+            ["open-loop shed", load["shed"]],
+            ["mean coalesced batch", f"{load['mean_batch']:.1f}"],
+            ["batches executed", report["engine"]["batches"]],
+            ["candidate-cache hits",
+             report["engine"]["candidate_cache"]["hits"]],
+        ],
+        title=f"serve-bench ({args.scale} scale, "
+        f"batch={args.batch_size}, eps={args.epsilon})",
+    ))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     builder, __ = _COMMANDS[args.experiment]
     recorder = TraceRecorder()
@@ -774,6 +872,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'profile':14s} per-phase time/hops/bytes for one experiment")
         print(f"{'stats':14s} network + level-store health for a built network")
         print(f"{'report':14s} fused run report: metrics + traces + loadmap")
+        print(f"{'serve-bench':14s} batched serving engine: speedup, QPS, "
+              "p50/p99 latency")
         return 0
     if getattr(args, "adapt", False):
         # Ambient adaptation: every HyperMNetwork the command builds
@@ -814,6 +914,8 @@ def _dispatch(args) -> int:
         return _cmd_stats(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "all":
         from repro.evaluation.summary import (
             render_markdown,

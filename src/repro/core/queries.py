@@ -379,6 +379,56 @@ def send_response(
     return delivered, attempts
 
 
+def retrieval_phase(
+    network,
+    ranked: list[tuple[int, float]],
+    query: np.ndarray,
+    epsilon: float,
+    *,
+    origin_peer: int,
+    max_peers: int | None,
+) -> tuple[list, list[int], list[int], int, int]:
+    """Contact ranked peers and collect their locally-filtered items.
+
+    The retrieval half of a range query, shared verbatim between
+    :func:`range_query` and the batched serving tier
+    (:mod:`repro.serve`), so both paths charge identical traffic and
+    return identical item sets. Returns ``(items, answered, failed,
+    messages, attempted)``.
+    """
+    recorder = obs_trace.state.recorder
+    injector = getattr(network.fabric, "faults", None)
+    items = []
+    answered: list[int] = []
+    with recorder.span("contact_peers") as contact_span:
+        contacted, messages, failed = contact_peers(
+            network, ranked, origin_peer=origin_peer, max_peers=max_peers
+        )
+        attempted = len(contacted) + len(failed)
+        for peer_id in contacted:
+            found = network.peers[peer_id].range_search(query, epsilon)
+            delivered, response_messages = send_response(
+                network, origin_peer, peer_id, len(found), items=found
+            )
+            messages += response_messages
+            if not delivered:
+                # Request arrived, but the reply was lost despite
+                # retries: the items never reach the querier.
+                failed.append(peer_id)
+                injector.note_contact_failure(peer_id)
+                continue
+            answered.append(peer_id)
+            items.extend(found)
+        contact_span.set(
+            ranked=len(ranked),
+            reached=len(answered),
+            failed=len(failed),
+            messages=messages,
+            items=len(items),
+        )
+    return items, answered, failed, messages, attempted
+
+
 def range_query(
     network,
     query: np.ndarray,
@@ -427,34 +477,10 @@ def range_query(
             aggregation=aggregation, info=fault_info,
         )
         ranked = rank_peers(aggregated)
-        items = []
-        answered: list[int] = []
-        with recorder.span("contact_peers") as contact_span:
-            contacted, messages, failed = contact_peers(
-                network, ranked, origin_peer=origin, max_peers=max_peers
-            )
-            attempted = len(contacted) + len(failed)
-            for peer_id in contacted:
-                found = network.peers[peer_id].range_search(query, epsilon)
-                delivered, response_messages = send_response(
-                    network, origin, peer_id, len(found), items=found
-                )
-                messages += response_messages
-                if not delivered:
-                    # Request arrived, but the reply was lost despite
-                    # retries: the items never reach the querier.
-                    failed.append(peer_id)
-                    injector.note_contact_failure(peer_id)
-                    continue
-                answered.append(peer_id)
-                items.extend(found)
-            contact_span.set(
-                ranked=len(ranked),
-                reached=len(answered),
-                failed=len(failed),
-                messages=messages,
-                items=len(items),
-            )
+        items, answered, failed, messages, attempted = retrieval_phase(
+            network, ranked, query, epsilon,
+            origin_peer=origin, max_peers=max_peers,
+        )
         confidence = partial_confidence(
             fault_info.get("levels_answered", len(network.levels)),
             fault_info.get("levels_total", len(network.levels)),

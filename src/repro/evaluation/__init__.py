@@ -13,6 +13,8 @@ Modules
 * :mod:`repro.evaluation.quality` — the Figure 11 clustering-quality study.
 * :mod:`repro.evaluation.resilience` — recall under message loss and
   abrupt peer crashes (the :mod:`repro.faults` evaluation scenario).
+* :mod:`repro.evaluation.serving` — batched serving-tier throughput and
+  open-loop latency (the ``repro serve-bench`` runner).
 * :mod:`repro.evaluation.reporting` — paper-style series/table rendering.
 """
 
@@ -23,6 +25,7 @@ from repro.evaluation.metrics import (
     precision_recall,
 )
 from repro.evaluation.resilience import FaultRecallRow, run_fault_recall
+from repro.evaluation.serving import run_serve_bench
 from repro.evaluation.workloads import (
     HistogramWorkload,
     MarkovWorkload,
@@ -43,4 +46,5 @@ __all__ = [
     "sample_queries",
     "FaultRecallRow",
     "run_fault_recall",
+    "run_serve_bench",
 ]

@@ -48,6 +48,16 @@ class QueryError(ReproError):
     """A query was malformed or could not be executed."""
 
 
+class ServeError(ReproError):
+    """The serving engine was misused (not started, started twice, …).
+
+    Admission-control rejections are *not* errors: an overloaded
+    :class:`repro.serve.ServeEngine` returns an explicit shed response so
+    the client can back off, because at serving scale overload is an
+    expected state, not an exceptional one.
+    """
+
+
 class StaleCandidateError(QueryError):
     """A :class:`repro.index.CandidateSet` outlived a store mutation.
 

@@ -810,6 +810,60 @@ class LevelStore:
         mask &= self._live[:size]
         return mask
 
+    def intersection_masks(
+        self, centers: np.ndarray, radii: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`intersection_mask` for a batch of queries.
+
+        ``centers`` is ``(B, d)`` and ``radii`` length ``B``; the result is
+        ``(B, rows)`` boolean. The whole batch's distances come from *one*
+        GEMM instead of B matrix-vector passes — the serving tier's
+        amortization lever. The GEMM expansion differs from the per-query
+        matvec by ~1e-12 at worst, orders of magnitude inside the
+        :data:`_BOUNDARY_BAND` whose near-boundary pairs are re-resolved
+        with the exact difference norm, so every row of the result is
+        bit-identical to the corresponding :meth:`intersection_mask` —
+        batched serving inherits the scalar path's Theorem 4.1 guarantee.
+        """
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        radii = np.atleast_1d(np.asarray(radii, dtype=np.float64))
+        if centers.shape[0] != radii.shape[0]:
+            raise ValidationError(
+                f"{centers.shape[0]} centers for {radii.shape[0]} radii"
+            )
+        if centers.shape[1] != self._dim:
+            raise ValidationError(
+                f"center dimensionality {centers.shape[1]} does not match "
+                f"store dimensionality {self._dim}"
+            )
+        size = self._size
+        if size == 0:
+            return np.empty((centers.shape[0], 0), dtype=bool)
+        keys = self._keys[:size]
+        d2 = (
+            self._key_sq[:size][None, :]
+            - 2.0 * (centers @ keys.T)
+            + np.einsum("ij,ij->i", centers, centers)[:, None]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        dist = np.sqrt(d2)
+        boundary = self._radii[:size][None, :] + radii[:, None]
+        near = np.abs(dist - boundary) <= self._BOUNDARY_BAND
+        if near.any():
+            q_idx, r_idx = np.nonzero(near)
+            diff = keys[r_idx] - centers[q_idx]
+            dist[near] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        # The predicate is scalar-radius; one cheap vectorized call per
+        # batch row keeps the boundary slack single-sourced (the GEMM
+        # above is the expensive part).
+        mask = np.empty((centers.shape[0], size), dtype=bool)
+        for i in range(centers.shape[0]):
+            mask[i] = spheres_intersect_batch(
+                self._radii[:size], float(radii[i]), dist[i]
+            )
+        mask &= self._live[:size][None, :]
+        return mask
+
     def candidate_set(self, rows: np.ndarray) -> CandidateSet:
         """Wrap ``rows`` (assumed deduplicated, ascending) as a snapshot."""
         return CandidateSet(self, rows)
@@ -830,6 +884,21 @@ class LevelStore:
         return CandidateSet(self, merged)
 
     # -- query heat ----------------------------------------------------------
+
+    def bump_heat(self, rows: np.ndarray) -> None:
+        """Bump the query-heat counter of ``rows`` by one each.
+
+        Observational only — no generation bump, exactly like the bump
+        inside :meth:`union_candidates`. The serving tier calls this when
+        it answers a query from a cached :class:`CandidateSet`: the rows
+        were not re-merged through ``union_candidates``, but the demand
+        signal the adaptation controller consumes must still see every
+        served query, or cache hits would cool the very spheres they
+        prove are hot.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size:
+            self._heat[rows] += 1
 
     def heat_of(self, rows: np.ndarray) -> np.ndarray:
         """Query-heat counters of ``rows`` (vectorized gather)."""

@@ -1,0 +1,33 @@
+"""The concurrent query-serving tier.
+
+An asyncio front door over :class:`repro.core.network.HyperMNetwork`:
+admission control with explicit shedding, batch coalescing into stacked
+per-level intersection passes, generation-keyed candidate/translation
+caches, query-log mining with cache pre-warming, k-NN top-k early
+termination, and an open-loop load generator. See ``docs/serving.md``.
+"""
+
+from repro.serve.cache import CandidateCache, TranslationCache, candidate_key
+from repro.serve.engine import (
+    KnnRequest,
+    RangeRequest,
+    ServeConfig,
+    ServeEngine,
+    ServeResponse,
+)
+from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.serve.mining import QueryLogMiner
+
+__all__ = [
+    "CandidateCache",
+    "KnnRequest",
+    "LoadReport",
+    "QueryLogMiner",
+    "RangeRequest",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeResponse",
+    "TranslationCache",
+    "candidate_key",
+    "run_open_loop",
+]

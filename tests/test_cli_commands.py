@@ -91,3 +91,31 @@ class TestCliFaults:
 
         with pytest.raises(ValidationError):
             main(["fig9", "--peers", "6", "--fault-plan", "warp=9"])
+
+
+@pytest.mark.slow
+class TestCliServeBench:
+    _ARGS = [
+        "serve-bench", "--peers", "6", "--queries", "16",
+        "--distinct", "6", "--repeats", "1",
+    ]
+
+    def test_serve_bench_table(self, capsys):
+        assert main(self._ARGS) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench" in out
+        assert "hot speedup" in out
+        assert "open-loop p99" in out
+
+    def test_serve_bench_json_and_out(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        assert main(self._ARGS + ["--json", "--out", str(out_path)]) == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[stdout.index("{"):])
+        assert payload["benchmark"] == "query_serve"
+        assert payload["speedup"] > 0
+        assert payload["load"]["requests"] == 16
+        saved = json.loads(out_path.read_text())
+        assert saved["benchmark"] == "query_serve"

@@ -1,0 +1,215 @@
+"""The batched index-phase plane: stacked masks, heat, set equality.
+
+Pins the two facts the serving tier rests on:
+
+* :meth:`LevelStore.intersection_masks` is row-for-row identical to the
+  scalar :meth:`LevelStore.intersection_mask` (the GEMM's float drift is
+  absorbed by the shared boundary band), tombstones included.
+* :func:`repro.serve.batch.batched_candidates` resolves exactly the
+  candidate sets the sequential overlay walk yields (the replication
+  invariant: live rows under the mask == the visited zones' union), and
+  every request bumps candidate heat — cached or freshly computed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.network import HyperMConfig
+from repro.core.results import ClusterRecord
+from repro.evaluation.workloads import build_markov_network, sample_queries
+from repro.exceptions import ValidationError
+from repro.index import LevelStore
+from repro.serve.batch import batched_candidates, fresh_candidates, level_radii
+from repro.serve.cache import CandidateCache
+from repro.wavelets.bounds import key_space_radius, radius_scale
+
+
+def _record(peer: int) -> ClusterRecord:
+    return ClusterRecord(peer_id=peer, items=10, level_name="A")
+
+
+def _populate(store: LevelStore, n: int, d: int, rng):
+    keys = rng.random((n, d))
+    radii = rng.uniform(0.0, 0.5, n)
+    return [
+        store.add(keys[i], float(radii[i]), _record(int(i % 5)))
+        for i in range(n)
+    ]
+
+
+class TestIntersectionMasks:
+    @given(
+        n=st.integers(1, 40),
+        batch=st.integers(1, 8),
+        d=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+    )
+    def test_matches_scalar_mask_per_row(self, n, batch, d, seed):
+        rng = np.random.default_rng(seed)
+        store = LevelStore(d)
+        _populate(store, n, d, rng)
+        centers = rng.random((batch, d))
+        radii = rng.uniform(0.0, 0.8, batch)
+        masks = store.intersection_masks(centers, radii)
+        assert masks.shape == (batch, len(store))
+        for i in range(batch):
+            expected = store.intersection_mask(centers[i], float(radii[i]))
+            assert np.array_equal(masks[i], expected)
+
+    def test_skips_tombstoned_rows(self, rng):
+        store = LevelStore(3)
+        rows = _populate(store, 12, 3, rng)
+        membership = store.new_membership()
+        for row in rows[:4]:
+            membership.add(row)
+        for row in rows[:4]:
+            membership.discard(row)  # tombstones rows 0..3
+        centers = np.tile(store._keys[rows[0]], (2, 1))
+        masks = store.intersection_masks(centers, np.array([10.0, 10.0]))
+        assert not masks[:, rows[:4]].any()
+        live = [r for r in rows[4:]]
+        assert masks[:, live].all()  # radius 10 covers the unit cube
+
+    def test_empty_store_yields_empty_masks(self):
+        store = LevelStore(4)
+        masks = store.intersection_masks(np.zeros((3, 4)), np.ones(3))
+        assert masks.shape == (3, 0)
+
+    def test_shape_validation(self, rng):
+        store = LevelStore(3)
+        _populate(store, 4, 3, rng)
+        with pytest.raises(ValidationError):
+            store.intersection_masks(np.zeros((2, 5)), np.ones(2))
+        with pytest.raises(ValidationError):
+            store.intersection_masks(np.zeros((2, 3)), np.ones(3))
+
+    def test_boundary_band_matches_scalar_resolution(self, rng):
+        # Construct a pair landing inside the exact-resolution band:
+        # distance == sum of radii up to float drift.
+        store = LevelStore(2)
+        store.add(np.array([0.2, 0.2]), 0.1, _record(0))
+        center = np.array([[0.2 + 0.1 + 0.05, 0.2]])
+        masks = store.intersection_masks(center, np.array([0.05]))
+        expected = store.intersection_mask(center[0], 0.05)
+        assert np.array_equal(masks[0], expected)
+
+
+class TestBumpHeat:
+    def test_bumps_without_generation_change(self, rng):
+        store = LevelStore(3)
+        rows = _populate(store, 6, 3, rng)
+        generation = store.generation
+        store.bump_heat(np.asarray(rows[:3]))
+        store.bump_heat(np.asarray(rows[:1]))
+        assert store.generation == generation
+        assert store.heat_of(np.asarray(rows[:1]))[0] == 2
+        assert store.heat_of(np.asarray(rows[1:3])).tolist() == [1, 1]
+        assert store.heat_of(np.asarray(rows[3:])).tolist() == [0, 0, 0]
+
+    def test_empty_rows_are_a_no_op(self, rng):
+        store = LevelStore(2)
+        _populate(store, 3, 2, rng)
+        store.bump_heat(np.empty(0, dtype=np.int64))
+        assert store.heat_of(np.arange(3)).tolist() == [0, 0, 0]
+
+
+@pytest.fixture(scope="module")
+def served_workload():
+    workload, __ = build_markov_network(
+        n_peers=8,
+        items_per_peer=40,
+        dimensionality=16,
+        config=HyperMConfig(levels_used=3, n_clusters=4),
+        rng=11,
+        publish=True,
+    )
+    return workload
+
+
+def _plans(network, queries, epsilon):
+    from repro.core.queries import _query_keys
+
+    plans = []
+    for query in queries:
+        keys = _query_keys(network, query)
+        radii = level_radii(network, epsilon)
+        plans.append({
+            level: (keys[level], radii[index])
+            for index, level in enumerate(network.levels)
+        })
+    return plans
+
+
+class TestBatchedCandidates:
+    def test_level_radii_matches_theorem_31_scaling(self, served_workload):
+        network = served_workload.network
+        d = network.dimensionality
+        radii = level_radii(network, 0.3)
+        for index, level in enumerate(network.levels):
+            expected = key_space_radius(0.3 * radius_scale(d, level), level)
+            assert radii[index] == expected
+
+    def test_equals_fresh_candidates_per_plan(self, served_workload):
+        network = served_workload.network
+        queries = sample_queries(
+            served_workload.data, 6, rng=np.random.default_rng(2)
+        )
+        plans = _plans(network, queries, 0.3)
+        batched = batched_candidates(network, plans, CandidateCache(64))
+        for plan, resolved in zip(plans, batched):
+            for level, (key, radius) in plan.items():
+                store = network.overlays[level].level_store
+                expected = fresh_candidates(store, key, radius)
+                assert np.array_equal(resolved[level].rows, expected.rows)
+                assert resolved[level].generation == expected.generation
+
+    def test_cache_dedupes_within_and_across_batches(self, served_workload):
+        network = served_workload.network
+        queries = sample_queries(
+            served_workload.data, 3, rng=np.random.default_rng(3)
+        )
+        cache = CandidateCache(64)
+        # Same query twice in one batch: duplicates dedupe *before* the
+        # cache, so the pass costs one miss per level and no hits.
+        plans = _plans(network, [queries[0], queries[0]], 0.3)
+        batched_candidates(network, plans, cache)
+        stats = cache.snapshot()
+        n_levels = len(network.levels)
+        assert stats["misses"] == n_levels
+        assert stats["hits"] == 0
+        # Same batch again: one deduped cache hit per level, no misses.
+        batched_candidates(network, plans, cache)
+        stats = cache.snapshot()
+        assert stats["misses"] == n_levels
+        assert stats["hits"] == n_levels
+
+    def test_every_request_bumps_heat_even_when_cached(self, served_workload):
+        network = served_workload.network
+        queries = sample_queries(
+            served_workload.data, 1, rng=np.random.default_rng(4)
+        )
+        plans = _plans(network, [queries[0], queries[0]], 0.3)
+        level = network.levels[0]
+        store = network.overlays[level].level_store
+        before = store._heat.copy()
+        resolved = batched_candidates(network, plans, CandidateCache(64))
+        rows = resolved[0][level].rows
+        delta = store._heat - before
+        if len(rows):
+            assert (delta[rows] == 2).all()  # both requests counted
+
+    def test_works_without_a_cache(self, served_workload):
+        network = served_workload.network
+        queries = sample_queries(
+            served_workload.data, 2, rng=np.random.default_rng(5)
+        )
+        plans = _plans(network, queries, 0.2)
+        batched = batched_candidates(network, plans, None)
+        assert len(batched) == 2
+        for plan, resolved in zip(plans, batched):
+            for level, (key, radius) in plan.items():
+                store = network.overlays[level].level_store
+                expected = fresh_candidates(store, key, radius)
+                assert np.array_equal(resolved[level].rows, expected.rows)

@@ -1,0 +1,146 @@
+"""Property: generation-keyed caching never serves a stale candidate set.
+
+Hypothesis interleaves store mutations (post-publish inserts +
+``publish_delta``, summary withdrawal, republish) with cached batched
+queries on a small fresh network per example, and pins the serving
+tier's safety contract:
+
+* no ``StaleCandidateError`` ever escapes the engine (staleness is
+  handled by eviction + recompute, never by an error storm);
+* every batched result equals the sequential
+  :meth:`HyperMNetwork.range_query` answer at 1e-9 — *after any prefix
+  of mutations*, i.e. the cache never silently serves yesterday's
+  candidates;
+* mutations actually invalidate: re-running a cached query after a
+  delta round evicts the stale entries (observed via the stale counter).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import HyperMConfig
+from repro.evaluation.workloads import build_markov_network, sample_queries
+from repro.serve import RangeRequest, ServeConfig, ServeEngine
+
+N_PEERS = 6
+N_QUERIES = 4
+EPSILON = 0.3
+
+
+def _build():
+    workload, __ = build_markov_network(
+        n_peers=N_PEERS,
+        items_per_peer=20,
+        dimensionality=16,
+        config=HyperMConfig(levels_used=2, n_clusters=3),
+        rng=77,
+        publish=True,
+    )
+    return workload
+
+
+def _assert_parity(engine, network, queries):
+    requests = [
+        RangeRequest(query=q, epsilon=EPSILON, max_peers=3) for q in queries
+    ]
+    batched = engine.execute_batch(requests)
+    for request, served in zip(requests, batched):
+        sequential = network.range_query(
+            request.query, request.epsilon, max_peers=request.max_peers
+        )
+        assert sorted(i.item_id for i in served.items) == sorted(
+            i.item_id for i in sequential.items
+        )
+        assert set(served.peer_scores) == set(sequential.peer_scores)
+        for peer, score in served.peer_scores.items():
+            assert score == pytest.approx(
+                sequential.peer_scores[peer], abs=1e-9
+            )
+
+
+operation = st.one_of(
+    st.tuples(st.just("query"), st.integers(0, N_QUERIES - 1)),
+    st.tuples(st.just("delta"), st.integers(0, N_PEERS - 1)),
+    st.tuples(st.just("withdraw"), st.integers(0, N_PEERS - 1)),
+    st.tuples(st.just("republish"), st.integers(0, N_PEERS - 1)),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(operation, min_size=2, max_size=8),
+    seed=st.integers(0, 100),
+)
+def test_interleaved_mutations_never_serve_stale_candidates(ops, seed):
+    workload = _build()
+    network = workload.network
+    queries = sample_queries(
+        workload.data, N_QUERIES, rng=np.random.default_rng(seed)
+    )
+    engine = ServeEngine(network, ServeConfig(cache_candidates=64))
+    rng = np.random.default_rng(seed + 1)
+    next_item_id = 1_000_000
+    peer_ids = list(network.peers)
+
+    _assert_parity(engine, network, queries)  # warm the caches
+    for op, index in ops:
+        if op == "query":
+            _assert_parity(engine, network, [queries[index]])
+        elif op == "delta":
+            peer = network.peers[peer_ids[index]]
+            fresh = rng.random((3, network.dimensionality))
+            peer.add_items(
+                fresh, np.arange(next_item_id, next_item_id + 3)
+            )
+            next_item_id += 3
+            network.publish_delta(peer_ids[index])
+        elif op == "withdraw":
+            network.withdraw_summaries(peer_ids[index])
+        elif op == "republish":
+            network.republish_peer(peer_ids[index])
+        # Whatever just happened, the very next batch must agree with
+        # the sequential plane on the network's *current* state.
+        _assert_parity(engine, network, queries[:2])
+
+    snap = engine.snapshot()["candidate_cache"]
+    assert snap["hits"] + snap["misses"] > 0
+
+
+def test_delta_round_evicts_stale_entries():
+    """A publish_delta between two identical queries forces stale drops."""
+    workload = _build()
+    network = workload.network
+    queries = sample_queries(
+        workload.data, 2, rng=np.random.default_rng(5)
+    )
+    engine = ServeEngine(network, ServeConfig(mine_queries=False))
+    _assert_parity(engine, network, queries)
+    assert engine.snapshot()["candidate_cache"]["stale"] == 0
+
+    peer_id = next(iter(network.peers))
+    network.peers[peer_id].add_items(
+        np.random.default_rng(6).random((4, network.dimensionality)),
+        np.arange(2_000_000, 2_000_004),
+    )
+    network.publish_delta(peer_id)
+
+    _assert_parity(engine, network, queries)
+    assert engine.snapshot()["candidate_cache"]["stale"] > 0
+
+
+def test_withdrawn_peer_disappears_from_batched_results():
+    workload = _build()
+    network = workload.network
+    queries = sample_queries(
+        workload.data, 3, rng=np.random.default_rng(9)
+    )
+    engine = ServeEngine(network)
+    _assert_parity(engine, network, queries)
+    victim = next(iter(network.peers))
+    network.withdraw_summaries(victim)
+    requests = [RangeRequest(query=q, epsilon=EPSILON) for q in queries]
+    for result in engine.execute_batch(requests):
+        assert victim not in result.peer_scores
+    _assert_parity(engine, network, queries)

@@ -1,0 +1,308 @@
+"""The serving engine: parity, admission, coalescing, mining, prewarm.
+
+The contract under test: :class:`repro.serve.ServeEngine` is an
+*execution strategy*, not a different query plane — batched range
+results match :meth:`HyperMNetwork.range_query` and batched k-NN (with
+early termination off) matches :meth:`HyperMNetwork.knn_query`
+exactly, ``index_hops`` excepted (the engine co-locates the index).
+On top of that sit the serving behaviours: bounded-queue shedding,
+batch coalescing, query-log mining, and generation-triggered
+pre-warming.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.network import HyperMConfig
+from repro.evaluation.workloads import build_markov_network, sample_queries
+from repro.exceptions import QueryError, ServeError, ValidationError
+from repro.serve import KnnRequest, RangeRequest, ServeConfig, ServeEngine
+
+
+@pytest.fixture(scope="module")
+def workload():
+    built, __ = build_markov_network(
+        n_peers=8,
+        items_per_peer=40,
+        dimensionality=16,
+        config=HyperMConfig(levels_used=3, n_clusters=4),
+        rng=21,
+        publish=True,
+    )
+    return built
+
+
+@pytest.fixture(scope="module")
+def queries(workload):
+    return sample_queries(workload.data, 8, rng=np.random.default_rng(22))
+
+
+def _item_ids(result):
+    return sorted(item.item_id for item in result.items)
+
+
+class TestConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValidationError):
+            ServeConfig(max_queue=0)
+        with pytest.raises(ValidationError):
+            ServeConfig(max_inflight=0)
+        with pytest.raises(ValidationError):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ValidationError):
+            ServeConfig(batch_window=-0.1)
+
+
+class TestRangeParity:
+    def test_batched_matches_sequential(self, workload, queries):
+        network = workload.network
+        engine = ServeEngine(network)
+        requests = [
+            RangeRequest(query=q, epsilon=0.3, max_peers=3) for q in queries
+        ]
+        batched = engine.execute_batch(requests)
+        for request, served in zip(requests, batched):
+            sequential = network.range_query(
+                request.query, request.epsilon, max_peers=request.max_peers
+            )
+            assert _item_ids(served) == _item_ids(sequential)
+            assert served.peers_contacted == sequential.peers_contacted
+            assert set(served.peer_scores) == set(sequential.peer_scores)
+            for peer, score in served.peer_scores.items():
+                assert score == pytest.approx(
+                    sequential.peer_scores[peer], abs=1e-9
+                )
+            assert served.index_hops == 0
+            assert served.confidence == sequential.confidence
+
+    def test_single_execute_equals_batch_of_one(self, workload, queries):
+        engine = ServeEngine(workload.network)
+        request = RangeRequest(query=queries[0], epsilon=0.25)
+        assert _item_ids(engine.execute(request)) == _item_ids(
+            engine.execute_batch([request])[0]
+        )
+
+    def test_mixed_batch_preserves_order(self, workload, queries):
+        engine = ServeEngine(workload.network)
+        requests = [
+            RangeRequest(query=queries[0], epsilon=0.3),
+            KnnRequest(query=queries[1], k=3),
+            RangeRequest(query=queries[2], epsilon=0.2),
+        ]
+        results = engine.execute_batch(requests)
+        assert results[0].peer_scores  # RangeQueryResult
+        assert results[1].requested_k == 3  # KnnResult
+        assert results[2].peer_scores
+
+    def test_validation_errors_surface(self, workload, queries):
+        engine = ServeEngine(workload.network)
+        with pytest.raises(ValidationError):
+            engine.execute(RangeRequest(query=np.ones(3), epsilon=0.1))
+        with pytest.raises(ValidationError):
+            engine.execute(RangeRequest(query=queries[0], epsilon=-1.0))
+        with pytest.raises(QueryError):
+            engine.execute(
+                RangeRequest(query=queries[0], epsilon=0.1, origin_peer=999)
+            )
+        assert engine.execute_batch([]) == []
+
+
+class TestKnnParity:
+    def test_matches_sequential_without_early_termination(
+        self, workload, queries
+    ):
+        network = workload.network
+        engine = ServeEngine(network)
+        for query in queries[:4]:
+            served = engine.execute(
+                KnnRequest(query=query, k=4, early_termination=False)
+            )
+            sequential = network.knn_query(query, 4)
+            assert [i.item_id for i in served.items] == [
+                i.item_id for i in sequential.items
+            ]
+            assert served.peers_contacted == sequential.peers_contacted
+            assert served.epsilon_per_level == pytest.approx(
+                sequential.epsilon_per_level
+            )
+
+    def test_early_termination_keeps_top_k(self, workload, queries):
+        network = workload.network
+        engine = ServeEngine(network)
+        k = 4
+        for query in queries:
+            terminated = engine.execute(
+                KnnRequest(query=query, k=k, early_termination=True)
+            )
+            full = network.knn_query(query, k)
+            got = [i.distance for i in terminated.items[:k]]
+            want = [i.distance for i in full.items[:k]]
+            assert got == pytest.approx(want, abs=1e-9)
+        # The skip counters only move when termination actually fires,
+        # but they must never go negative or desync from each other.
+        snap = engine.snapshot()
+        assert snap["knn_early_stops"] >= 0
+        assert (snap["knn_peers_skipped"] == 0) == (
+            snap["knn_early_stops"] == 0
+        )
+
+    def test_rejects_bad_k_and_c(self, workload, queries):
+        engine = ServeEngine(workload.network)
+        with pytest.raises(QueryError):
+            engine.execute(KnnRequest(query=queries[0], k=0))
+        with pytest.raises(QueryError):
+            engine.execute(KnnRequest(query=queries[0], k=2, c=0.0))
+
+
+class TestMiningAndPrewarm:
+    def test_miner_tracks_hot_regions(self, workload, queries):
+        engine = ServeEngine(workload.network)
+        for __ in range(3):
+            engine.execute(RangeRequest(query=queries[0], epsilon=0.3))
+        snap = engine.snapshot()["miner"]
+        assert snap["observed"] >= 3 * len(workload.network.levels)
+        assert snap["hot_regions"]
+        assert engine.miner.hot_keys(4)
+
+    def test_prewarm_refills_after_mutation(self, workload, queries):
+        network = workload.network
+        engine = ServeEngine(network)
+        engine.execute(RangeRequest(query=queries[0], epsilon=0.3))
+        # Mutate a peer's items and republish: generations move, cached
+        # candidate sets go stale.
+        peer_id = next(iter(network.peers))
+        peer = network.peers[peer_id]
+        rng = np.random.default_rng(31)
+        peer.add_items(
+            rng.random((5, network.dimensionality)),
+            np.arange(900_000, 900_005),
+        )
+        network.publish_delta(peer_id)
+        primed_before = engine.snapshot()["prewarmed"]
+        engine.execute(RangeRequest(query=queries[1], epsilon=0.3))
+        assert engine.snapshot()["prewarmed"] > primed_before
+        # The pre-warmed hot lookup serves the next repeat as a fresh hit.
+        stale_before = engine.snapshot()["candidate_cache"]["stale"]
+        engine.execute(RangeRequest(query=queries[0], epsilon=0.3))
+        assert engine.snapshot()["candidate_cache"]["stale"] == stale_before
+
+    def test_mining_disabled_leaves_no_miner(self, workload, queries):
+        engine = ServeEngine(
+            workload.network, ServeConfig(mine_queries=False)
+        )
+        engine.execute(RangeRequest(query=queries[0], epsilon=0.2))
+        assert engine.miner is None
+        assert engine.prewarm() == 0
+        assert "miner" not in engine.snapshot()
+
+
+class TestAsyncLayer:
+    def test_submit_before_start_raises(self, workload, queries):
+        engine = ServeEngine(workload.network)
+
+        async def scenario():
+            with pytest.raises(ServeError):
+                await engine.submit(
+                    RangeRequest(query=queries[0], epsilon=0.2)
+                )
+
+        asyncio.run(scenario())
+
+    def test_double_start_raises(self, workload):
+        engine = ServeEngine(workload.network)
+
+        async def scenario():
+            await engine.start()
+            with pytest.raises(ServeError):
+                await engine.start()
+            await engine.stop()
+
+        asyncio.run(scenario())
+
+    def test_coalesces_concurrent_submissions(self, workload, queries):
+        engine = ServeEngine(
+            workload.network,
+            ServeConfig(max_inflight=1, max_batch=8, batch_window=0.05),
+        )
+
+        async def scenario():
+            await engine.start()
+            responses = await asyncio.gather(*[
+                engine.submit(RangeRequest(query=q, epsilon=0.3))
+                for q in queries
+            ])
+            await engine.stop()
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert all(r.status == "ok" for r in responses)
+        assert all(r.result is not None for r in responses)
+        assert max(r.batch_size for r in responses) > 1
+        assert all(r.latency >= 0.0 for r in responses)
+
+    def test_sheds_past_the_queue_bound(self, workload, queries):
+        engine = ServeEngine(
+            workload.network,
+            ServeConfig(max_queue=2, max_inflight=1, batch_window=0.01),
+        )
+
+        async def scenario():
+            await engine.start()
+            responses = await asyncio.gather(*[
+                engine.submit(RangeRequest(query=queries[i % 8], epsilon=0.3))
+                for i in range(24)
+            ])
+            await engine.stop()
+            return responses
+
+        responses = asyncio.run(scenario())
+        shed = [r for r in responses if r.status == "shed"]
+        ok = [r for r in responses if r.status == "ok"]
+        assert shed and ok
+        assert all(r.reason == "queue_full" for r in shed)
+        assert all(r.result is None for r in shed)
+        snap = engine.snapshot()
+        assert snap["shed"] == len(shed)
+        assert snap["admitted"] == len(ok)
+        assert snap["waiting"] == 0
+
+    def test_batch_errors_reach_every_waiter(self, workload, queries):
+        engine = ServeEngine(
+            workload.network,
+            ServeConfig(max_inflight=1, max_batch=4, batch_window=0.05),
+        )
+        bad = RangeRequest(query=np.ones(3), epsilon=0.1)  # wrong dim
+
+        async def scenario():
+            await engine.start()
+            results = await asyncio.gather(
+                engine.submit(RangeRequest(query=queries[0], epsilon=0.2)),
+                engine.submit(bad),
+                return_exceptions=True,
+            )
+            await engine.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        # The bad request poisons its whole coalesced batch; both waiters
+        # see the validation error rather than hanging forever.
+        assert all(isinstance(r, ValidationError) for r in results)
+
+    def test_stop_without_start_is_a_no_op(self, workload):
+        engine = ServeEngine(workload.network)
+        asyncio.run(engine.stop())
+
+
+class TestSnapshot:
+    def test_counters_track_batches(self, workload, queries):
+        engine = ServeEngine(workload.network)
+        engine.execute_batch([
+            RangeRequest(query=q, epsilon=0.2) for q in queries[:3]
+        ])
+        snap = engine.snapshot()
+        assert snap["batches"] == 1
+        assert snap["served"] == 3
+        assert snap["candidate_cache"]["capacity"] == 256
+        assert snap["translation_cache"]["size"] >= 1

@@ -34,7 +34,7 @@ import sys
 #: Headline ratio fields compared when present in both reports.
 SPEEDUP_FIELDS = (
     "speedup", "cold_speedup", "list_speedup", "bytes_speedup",
-    "hops_speedup", "adapt_skew_speedup",
+    "hops_speedup", "adapt_skew_speedup", "bulk_speedup",
 )
 
 

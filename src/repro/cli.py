@@ -57,6 +57,7 @@ from repro.evaluation.reporting import (
     series_to_table,
 )
 from repro.evaluation.resilience import run_fault_recall
+from repro.engine import EngineConfig, engine_names, engine_scope
 from repro.faults import parse_fault_plan, plan_scope
 from repro.overlay.registry import overlay_names, overlay_scope, resolve_overlay
 from repro.obs import TraceRecorder, tracing
@@ -540,6 +541,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="also write the report JSON to this path",
     )
+
+    scale_parser = sub.add_parser(
+        "scale-bench",
+        help="bulk-build per-level CAN grids at 10^5-peer scale and "
+        "report publish/query throughput plus peak RSS",
+    )
+    _add_common_args(scale_parser)
+    scale_parser.add_argument(
+        "--spheres-per-peer", type=int, default=2, metavar="N",
+        help="cluster spheres published per peer per level (default: 2)",
+    )
+    scale_parser.add_argument(
+        "--queries", type=int, default=32, metavar="N",
+        help="translated range queries to time (default: 32)",
+    )
+    scale_parser.add_argument(
+        "--epsilon", type=float, default=0.25,
+        help="range-query radius in the original space (default: 0.25)",
+    )
+    scale_parser.add_argument(
+        "--baseline-peers", type=int, default=192, metavar="N",
+        help="size of the routed-vs-bulk construction race whose "
+        "wall-clock ratio is the gated bulk_speedup (default: 192)",
+    )
+    scale_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report JSON to this path",
+    )
     return parser
 
 
@@ -626,6 +655,18 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         help="overlay backend for every network the command builds "
         "(default: can); for the matrix command this restricts the "
         "sweep to one backend",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default=None,
+        help="execution engine for every network the command builds "
+        "(default: serial); 'sharded' fans per-level index work out to "
+        "worker processes over shared memory (see docs/scaling.md)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for the sharded engine (default: 2)",
     )
 
 
@@ -832,6 +873,58 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_scale_bench(args) -> int:
+    """Run the scale benchmark; print the headline numbers.
+
+    Same runner as ``benchmarks/test_scale.py`` (which adds the CI
+    gates); the ``--engine sharded --workers N`` flags route the query
+    phase through the sharded execution engine, parity-checked against
+    the inline oracle before timing.
+    """
+    from repro.evaluation.scale import run_scale_bench
+
+    params = _common(args)
+    with metrics_scope():
+        report = run_scale_bench(
+            n_peers=params["n_peers"],
+            spheres_per_peer=args.spheres_per_peer,
+            n_queries=args.queries,
+            epsilon=args.epsilon,
+            engine=args.engine or "serial",
+            workers=max(args.workers, 1),
+            seed=args.seed,
+            baseline_peers=args.baseline_peers,
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, default=_json_default)
+            handle.write("\n")
+        print(f"scale-bench: wrote {args.out}")
+    if getattr(args, "json", False):
+        print(json.dumps(report, indent=2, default=_json_default))
+        return 0
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["peers", report["n_peers"]],
+            ["spheres published", report["spheres_published"]],
+            ["build + publish", f"{report['build_s'] + report['publish_s']:.2f} s"],
+            ["peers/s (build+publish)", f"{report['peers_per_s']:.0f}"],
+            ["spheres/s (publish)", f"{report['spheres_per_s']:.0f}"],
+            ["queries/s (index phase)", f"{report['queries_per_s']:.0f}"],
+            ["mean peers ranked", f"{report['mean_peers_ranked']:.1f}"],
+            ["bulk speedup (vs routed)", f"{report['bulk_speedup']:.1f}x"],
+            ["parity checked / max delta",
+             f"{report['parity']['checked']} / "
+             f"{report['parity']['max_abs_delta']:.2e}"],
+            ["peak RSS", f"{report['resources']['peak_rss_mb']:.1f} MiB"],
+        ],
+        title=f"scale-bench ({report['engine']} engine, "
+        f"{report['workers']} workers)",
+    ))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     builder, __ = _COMMANDS[args.experiment]
     recorder = TraceRecorder()
@@ -874,6 +967,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'report':14s} fused run report: metrics + traces + loadmap")
         print(f"{'serve-bench':14s} batched serving engine: speedup, QPS, "
               "p50/p99 latency")
+        print(f"{'scale-bench':14s} 10^5-peer bulk publish + engine-plane "
+              "query throughput")
         return 0
     if getattr(args, "adapt", False):
         # Ambient adaptation: every HyperMNetwork the command builds
@@ -901,6 +996,19 @@ def _run_with_faults(args) -> int:
         # Ambient fault plan: every Network the command builds installs
         # a fresh injector from it (see repro.faults.plan_scope).
         with plan_scope(parse_fault_plan(spec)):
+            return _run_with_engine(args)
+    return _run_with_engine(args)
+
+
+def _run_with_engine(args) -> int:
+    name = getattr(args, "engine", None)
+    if name:
+        # Ambient engine: every HyperMNetwork the command builds runs on
+        # this engine (see repro.engine.registry.engine_scope).
+        config = EngineConfig(
+            engine=name, workers=max(getattr(args, "workers", 2), 1)
+        )
+        with engine_scope(config):
             return _dispatch(args)
     return _dispatch(args)
 
@@ -916,6 +1024,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "scale-bench":
+        return _cmd_scale_bench(args)
     if args.command == "all":
         from repro.evaluation.summary import (
             render_markdown,

@@ -1,0 +1,145 @@
+"""The execution-engine contract: scheduler plane + shard task fan-out.
+
+The paper keys each wavelet level to its *own* CAN overlay; only the
+Eq. 1 min-across-levels aggregation joins them. That independence is an
+execution property, not just an indexing one: the per-level work of a
+query — one store-wide intersection mask plus Eq. 1 scoring over the
+surviving rows — touches exactly one level's columns, so levels can run
+on separate workers with a single barrier before the min-aggregate.
+
+An :class:`Engine` owns both halves of that story:
+
+* **Scheduler plane** — :meth:`Engine.create_scheduler` yields the
+  discrete-event scheduler the network fabric drives. Every scheduler
+  satisfies :class:`SchedulerProtocol`; the serial one is bit-identical
+  to the pre-engine ``repro.net.events.Scheduler``.
+* **Shard plane** — :meth:`Engine.register_store` attaches one
+  :class:`repro.index.LevelStore` per shard key (the level index), and
+  :meth:`Engine.masks` / :meth:`Engine.score_levels` fan batched tasks
+  out across the shards, returning after the epoch barrier.
+
+``gather_block`` / ``store_mask`` are the *single-sourced* kernels both
+the inline (serial) path and the worker processes run, so parity between
+engines is by construction, not by test luck.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@runtime_checkable
+class SchedulerProtocol(Protocol):
+    """What the network fabric requires of its clock."""
+
+    events_processed: int
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule_at(self, time: float, action) -> object: ...
+
+    def schedule_after(self, delay: float, action) -> object: ...
+
+    def step(self) -> bool: ...
+
+    def run(self, *, max_events: int | None = None) -> int: ...
+
+    def run_until(self, time: float) -> int: ...
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The ``--engine`` / ``--workers`` selection, resolved.
+
+    ``shard_by`` picks the partitioning axis: ``"level"`` assigns whole
+    overlay levels to workers (the paper's natural decomposition);
+    ``"region"`` splits each level's rows into contiguous slabs — under
+    grid bulk construction row order follows zone-cell order, so slabs
+    approximate the GeoP2P-style region partition and keep every worker
+    busy even when levels < workers.
+    """
+
+    engine: str = "serial"
+    workers: int = 2
+    shard_by: str = "level"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.shard_by not in ("level", "region"):
+            raise ValidationError(
+                f"shard_by must be 'level' or 'region', got "
+                f"{self.shard_by!r}"
+            )
+
+
+def store_mask(store, center: np.ndarray, radius: float) -> np.ndarray:
+    """Store-wide intersection mask — the per-level shard task, inline."""
+    return store.intersection_mask(center, radius)
+
+
+def gather_block(store, mask: np.ndarray):
+    """Gather the rows surviving ``mask`` into a scoring ColumnBlock."""
+    return store.column_block(np.nonzero(mask)[0])
+
+
+class Engine(ABC):
+    """One execution strategy for the simulator's per-level work."""
+
+    #: Registry name (``--engine`` value).
+    name: str = "?"
+
+    #: True when shard tasks actually leave the calling process. The
+    #: integration layer uses this to skip fan-out entirely on the
+    #: serial path, keeping it byte-identical to the pre-engine code.
+    parallel: bool = False
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.config = config
+        self._stores: dict[int, object] = {}
+
+    @abstractmethod
+    def create_scheduler(self) -> SchedulerProtocol:
+        """A fresh discrete-event scheduler for one network fabric."""
+
+    @abstractmethod
+    def register_store(self, shard_key: int, store) -> None:
+        """Attach one level's store under ``shard_key``."""
+
+    @abstractmethod
+    def masks(self, tasks) -> list[np.ndarray]:
+        """Store-wide intersection masks for ``(key, center, radius)``
+        tasks; returns after the epoch barrier, one mask per task in
+        task order."""
+
+    @abstractmethod
+    def score_levels(self, tasks) -> list[dict]:
+        """Mask + Eq. 1 scores for ``(key, center, radius)`` tasks;
+        returns ``{peer_id: score}`` per task after the barrier."""
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every worker has drained its current batch."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release workers and shared state. Idempotent."""
+
+    @abstractmethod
+    def snapshot(self) -> dict:
+        """JSON-safe engine telemetry for stats/reports."""
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,184 @@
+"""The serial engine: the event queue and scheduler moved from ``repro.net``.
+
+:class:`SerialScheduler` is the simulator's clock, bit-identical to the
+pre-engine ``repro.net.events.Scheduler`` (which now re-exports it): a
+minimal but complete discrete-event core where events are ``(time, seq)``
+ordered in a binary heap; ``seq`` breaks ties FIFO so simultaneous events
+run in scheduling order (deterministic replays). The paper describes the
+same design: every message goes to an event queue which is periodically
+emptied to simulate parallel execution.
+
+:class:`SerialEngine` is the default execution engine — every shard task
+runs inline in the calling process, so results are byte-for-byte the
+numbers the pre-engine code produced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.base import Engine, EngineConfig, gather_block, store_mask
+from repro.exceptions import ValidationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordered by ``(time, seq)`` so the heap pops chronologically with FIFO
+    tie-breaking.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class SerialScheduler:
+    """Discrete-event scheduler with a virtual clock.
+
+    Examples
+    --------
+    >>> sched = SerialScheduler()
+    >>> fired = []
+    >>> _ = sched.schedule_after(2.0, lambda: fired.append("b"))
+    >>> _ = sched.schedule_after(1.0, lambda: fired.append("a"))
+    >>> _ = sched.run()
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise ValidationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = Event(time=time, seq=self._seq, action=action)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise ValidationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Run the single earliest pending event. Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, *, max_events: int | None = None) -> int:
+        """Empty the queue (actions may schedule more). Returns events run.
+
+        ``max_events`` guards against runaway feedback loops; ``None`` runs
+        until idle.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def run_until(self, time: float) -> int:
+        """Run events with timestamps <= ``time``; advance the clock to it."""
+        count = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            count += 1
+        self._now = max(self._now, time)
+        return count
+
+
+class SerialEngine(Engine):
+    """Run every shard task inline — today's behaviour, made explicit.
+
+    ``parallel`` is False, so integration points (``index_phase``, the
+    scale harness) skip the batched fan-out entirely and walk the exact
+    pre-engine code path.
+    """
+
+    name = "serial"
+    parallel = False
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        super().__init__(config or EngineConfig())
+        self._tasks_run = 0
+
+    def create_scheduler(self) -> SerialScheduler:
+        return SerialScheduler()
+
+    def register_store(self, shard_key: int, store) -> None:
+        self._stores[shard_key] = store
+
+    def masks(self, tasks):
+        """Store-wide intersection masks, computed inline per task."""
+        out = []
+        for shard_key, center, radius in tasks:
+            out.append(store_mask(self._stores[shard_key], center, radius))
+            self._tasks_run += 1
+        return out
+
+    def score_levels(self, tasks):
+        """Mask + Eq. 1 level scores, computed inline per task."""
+        from repro.core.scoring import level_scores
+
+        out = []
+        for shard_key, center, radius in tasks:
+            store = self._stores[shard_key]
+            mask = store_mask(store, center, radius)
+            block = gather_block(store, mask)
+            out.append(level_scores(block, center, radius))
+            self._tasks_run += 1
+        return out
+
+    def barrier(self) -> None:
+        """No-op: inline execution is always synchronized."""
+
+    def close(self) -> None:
+        self._stores.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "engine": self.name,
+            "workers": 0,
+            "shards": len(self._stores),
+            "tasks_run": self._tasks_run,
+        }

@@ -14,6 +14,7 @@ recording), then fuses every signal into a single JSON document:
 * ``operations`` — per-op hop/byte histograms from the flight recorder;
 * ``flight`` — ring-buffer health (edges kept/evicted, sampling rate);
 * ``phases`` — the span-tree flame rows (self vs total time);
+* ``resources`` — peak RSS via :func:`repro.obs.rss.rss_snapshot`;
 * ``bench`` — any ``BENCH_*.json`` files found in ``--bench-dir``.
 
 The document validates against :func:`repro.obs.schema.check_report`,
@@ -32,6 +33,7 @@ from repro.obs.flight import FlightRecorder, flight_recording
 from repro.obs.loadmap import build_loadmap
 from repro.obs.profile import phase_rows
 from repro.obs.registry import metrics_scope
+from repro.obs.rss import rss_snapshot
 from repro.obs.trace import TraceRecorder, tracing
 from repro.utils.rng import ensure_rng
 from repro.utils.tables import format_table
@@ -119,6 +121,7 @@ def run_report(
         "operations": flight.per_op_histograms(),
         "flight": flight.snapshot(),
         "phases": phase_rows(recorder.spans),
+        "resources": rss_snapshot(),
     }
     if bench_dir is not None:
         report["bench"] = collect_bench_reports(bench_dir)
@@ -163,6 +166,8 @@ def render_markdown(report: dict) -> str:
             ["duplicates", fabric["duplicates"]],
             ["energy (µJ)", f"{fabric['energy']:.0f}"],
             ["energy max/mean", f"{report['energy']['max_over_mean']:.2f}"],
+            ["peak RSS (MiB)", report.get("resources", {}).get(
+                "peak_rss_mb", "-")],
         ],
         title="fabric totals",
     ))

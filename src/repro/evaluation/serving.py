@@ -24,13 +24,13 @@ speedups are pure execution strategy, never a different answer.
 from __future__ import annotations
 
 import gc
-import time
 
 import numpy as np
 
 from repro.core.network import HyperMConfig
 from repro.evaluation.workloads import build_markov_network, sample_queries
 from repro.exceptions import ValidationError
+from repro.obs import registry as obs_registry
 from repro.serve import RangeRequest, ServeConfig, ServeEngine, run_open_loop
 
 
@@ -67,13 +67,23 @@ def _requests(queries, cfg: dict) -> list[RangeRequest]:
     ]
 
 
-def _timed(body) -> float:
+def _timed(body, clock=None) -> float:
+    """Wall-time one arm, GC-quiesced, on the ambient metrics clock.
+
+    The clock comes from the injectable-clock idiom
+    (:class:`repro.obs.registry.MetricsRegistry`, same as ``obs.trace``
+    and ``obs.flight``): ``metrics().clock`` is ``time.perf_counter``
+    in production and a fake in tests, making bench timings — and the
+    speedup ratios built from them — deterministic under test.
+    """
+    if clock is None:
+        clock = obs_registry.metrics().clock
     gc.collect()
     gc.disable()
     try:
-        start = time.perf_counter()
+        start = clock()
         body()
-        return time.perf_counter() - start
+        return clock() - start
     finally:
         gc.enable()
 

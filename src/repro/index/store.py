@@ -29,6 +29,8 @@ replaces that layout with one shared, versioned store per overlay level:
 from __future__ import annotations
 
 import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -38,6 +40,69 @@ from repro.geometry.intersection import spheres_intersect
 
 #: Initial column capacity (rows) of an empty store.
 _INITIAL_CAPACITY = 64
+
+#: Width of the exact re-resolution band around sphere boundaries (see
+#: :meth:`LevelStore.intersection_mask`); module-level so the extracted
+#: :func:`intersection_mask_columns` kernel and the store share one value.
+_BOUNDARY_BAND = 1e-5
+
+
+@dataclass(frozen=True)
+class ColumnBlock:
+    """A raw ``(keys, radii, items, peer_ids, key_sq)`` scoring block.
+
+    The process-boundary twin of :meth:`CandidateSet.columns`: engine
+    workers gather these arrays straight out of the shared-memory
+    columns and hand them to :func:`repro.core.scoring.level_scores`,
+    which scores them exactly as it scores a candidate set — same
+    arrays, same kernel, bit-identical floats.
+    """
+
+    keys: np.ndarray
+    radii: np.ndarray
+    items: np.ndarray
+    peer_ids: np.ndarray
+    key_sq: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    def columns(self):
+        """``(keys, radii, items, peer_ids, key_sq)`` — scoring order."""
+        return self.keys, self.radii, self.items, self.peer_ids, self.key_sq
+
+
+def intersection_mask_columns(
+    keys: np.ndarray,
+    key_sq: np.ndarray,
+    radii: np.ndarray,
+    live: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+) -> np.ndarray:
+    """Per-row intersection mask over raw column slices.
+
+    The computational core of :meth:`LevelStore.intersection_mask`,
+    extracted so engine workers can run it against shared-memory column
+    views without holding a :class:`LevelStore`. The columns must
+    already be sliced to the row range under test; the caller guarantees
+    they come from one consistent generation.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    if keys.shape[0] == 0:
+        return np.empty(0, dtype=bool)
+    d2 = key_sq - 2.0 * (keys @ center)
+    d2 += float(center @ center)
+    np.maximum(d2, 0.0, out=d2)
+    dist = np.sqrt(d2)
+    boundary = radii + float(radius)
+    near = np.abs(dist - boundary) <= _BOUNDARY_BAND
+    if near.any():
+        diff = keys[near] - center
+        dist[near] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    mask = spheres_intersect_batch(radii, float(radius), dist)
+    mask &= live
+    return mask
 
 #: Compaction triggers when tombstones exceed this fraction of used rows…
 _COMPACT_FRACTION = 0.25
@@ -168,6 +233,25 @@ class NodeMembership:
             if self.add(row):
                 added += 1
         return added
+
+    def add_rows_array(self, rows: np.ndarray) -> int:
+        """Vectorized :meth:`add_many` for freshly bulk-appended rows.
+
+        The rows must be live; duplicates against current holdings are
+        filtered here, so callers can hand over raw
+        :meth:`LevelStore.bulk_add` row batches. One ``np.add.at``
+        refcount pass replaces per-row ``_incref`` calls.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return 0
+        fresh = [int(row) for row in rows if int(row) not in self._rows]
+        if not fresh:
+            return 0
+        self._rows.update(fresh)
+        self._cache = None
+        self._store._incref_bulk(np.asarray(fresh, dtype=np.int64))
+        return len(fresh)
 
     def discard(self, row: int) -> bool:
         """Drop one row; returns False if it was not held."""
@@ -364,6 +448,10 @@ class LevelStore:
         self._values: list = []
         self._row_by_id: dict[int, int] = {}
         self._memberships: weakref.WeakSet[NodeMembership] = weakref.WeakSet()
+        self._shared = False
+        self._shm_blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._shm_orphans: list[shared_memory.SharedMemory] = []
+        self._shm_epoch = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -381,6 +469,11 @@ class LevelStore:
     def n_live(self) -> int:
         """Live (non-tombstoned) rows."""
         return self._size - self._n_tombstones
+
+    @property
+    def n_rows(self) -> int:
+        """Rows used (live + tombstoned) — the mask/column prefix length."""
+        return self._size
 
     @property
     def n_tombstones(self) -> int:
@@ -423,25 +516,149 @@ class LevelStore:
 
     # -- mutation ------------------------------------------------------------
 
+    #: Columns engine workers read zero-copy; when the store is shared
+    #: these (and only these) live in ``multiprocessing.shared_memory``.
+    _SHM_COLUMNS = ("_keys", "_key_sq", "_radii", "_items", "_peer_ids",
+                    "_live")
+
+    #: Every growable column: ``name -> (dtype, zero_fill)``. ``_keys``
+    #: is the one 2-D column; ``_live`` must zero-fill past the prefix.
+    _COLUMN_SPECS = {
+        "_keys": (np.float64, False),
+        "_key_sq": (np.float64, False),
+        "_radii": (np.float64, False),
+        "_items": (np.float64, False),
+        "_peer_ids": (np.int64, False),
+        "_entry_ids": (np.int64, False),
+        "_refcounts": (np.int64, False),
+        "_heat": (np.int64, False),
+        "_live": (bool, True),
+    }
+
+    def _alloc_array(self, name: str, shape, dtype):
+        """Allocate one column: private ``np.empty`` or a shm block."""
+        if not (self._shared and name in self._SHM_COLUMNS):
+            return np.empty(shape, dtype=dtype), None
+        nbytes = max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
+        block = shared_memory.SharedMemory(create=True, size=nbytes)
+        return np.ndarray(shape, dtype=dtype, buffer=block.buf), block
+
+    def _release_blocks(self, blocks) -> None:
+        """Unlink + close shm blocks; defer closes blocked by exports.
+
+        A live zero-copy view (e.g. a :class:`CandidateSet` contiguous
+        slice) keeps a buffer export open, making ``close`` raise
+        ``BufferError``; such blocks park in an orphan list retried on
+        the next release. Unlinking first is always safe on Linux — the
+        segment persists until every mapping closes.
+        """
+        pending = [b for b in blocks if b is not None] + self._shm_orphans
+        self._shm_orphans = []
+        for block in pending:
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                block.close()
+            except BufferError:
+                self._shm_orphans.append(block)
+
     def _grow_to(self, capacity: int) -> None:
         new_cap = max(self._capacity * 2, _INITIAL_CAPACITY)
         while new_cap < capacity:
             new_cap *= 2
-        keys = np.empty((new_cap, self._dim), dtype=np.float64)
-        keys[: self._size] = self._keys[: self._size]
-        self._keys = keys
-        for name in ("_key_sq", "_radii", "_items"):
-            col = np.empty(new_cap, dtype=np.float64)
+        released = []
+        for name, (dtype, zero_fill) in self._COLUMN_SPECS.items():
+            shape = (new_cap, self._dim) if name == "_keys" else (new_cap,)
+            col, block = self._alloc_array(name, shape, dtype)
+            if zero_fill:
+                col[:] = False
             col[: self._size] = getattr(self, name)[: self._size]
             setattr(self, name, col)
-        for name in ("_peer_ids", "_entry_ids", "_refcounts", "_heat"):
-            col = np.empty(new_cap, dtype=np.int64)
-            col[: self._size] = getattr(self, name)[: self._size]
-            setattr(self, name, col)
-        live = np.zeros(new_cap, dtype=bool)
-        live[: self._size] = self._live[: self._size]
-        self._live = live
+            if block is not None:
+                released.append(self._shm_blocks.pop(name, None))
+                self._shm_blocks[name] = block
         self._capacity = new_cap
+        if self._shared:
+            self._shm_epoch += 1
+            self._release_blocks(released)
+
+    # -- shared-memory backing ----------------------------------------------
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the worker-visible columns live in shared memory."""
+        return self._shared
+
+    @property
+    def shm_epoch(self) -> int:
+        """Bumped whenever the shm blocks are (re)allocated.
+
+        Engine parents compare this against what each worker last
+        attached and resend the manifest on mismatch — reallocation
+        (growth) is the only event that invalidates an attachment;
+        ordinary mutations are covered by :attr:`generation` alone.
+        """
+        return self._shm_epoch
+
+    def share_columns(self) -> dict:
+        """Migrate the worker-visible columns into shared memory.
+
+        Idempotent; returns the current :meth:`shm_manifest`. After
+        this, every growth reallocates into fresh shm blocks and bumps
+        :attr:`shm_epoch`. The payload list (``_values``) never crosses
+        the process boundary — workers score columns, not payloads.
+        """
+        if not self._shared:
+            self._shared = True
+            self._shm_epoch += 1
+            for name in self._SHM_COLUMNS:
+                old = getattr(self, name)
+                col, block = self._alloc_array(name, old.shape, old.dtype)
+                if block is None:  # zero-capacity store: nothing to map
+                    continue
+                col[:] = old
+                setattr(self, name, col)
+                self._shm_blocks[name] = block
+        return self.shm_manifest()
+
+    def shm_manifest(self) -> dict:
+        """Name/shape/dtype of each shm column block, for worker attach."""
+        if not self._shared:
+            raise ValidationError("store is not shared; no shm manifest")
+        return {
+            "epoch": self._shm_epoch,
+            "capacity": self._capacity,
+            "dim": self._dim,
+            "columns": {
+                name: (
+                    self._shm_blocks[name].name,
+                    tuple(getattr(self, name).shape),
+                    getattr(self, name).dtype.str,
+                )
+                for name in self._SHM_COLUMNS
+                if name in self._shm_blocks
+            },
+        }
+
+    def release_shared(self) -> None:
+        """Copy columns back to private arrays and free the shm blocks."""
+        if not self._shared:
+            return
+        for name in self._SHM_COLUMNS:
+            setattr(self, name, np.array(getattr(self, name), copy=True))
+        blocks = [self._shm_blocks.pop(name)
+                  for name in list(self._shm_blocks)]
+        self._shared = False
+        self._shm_epoch += 1
+        self._release_blocks(blocks)
+
+    def __del__(self):  # pragma: no cover - interpreter-exit path
+        try:
+            self.release_shared()
+        except Exception:
+            pass
 
     def add(self, key: np.ndarray, radius: float, value: object) -> int:
         """Append one entry; returns its row index.
@@ -501,10 +718,90 @@ class LevelStore:
         self.generation += 1
         return row
 
+    def bulk_add(self, keys, radii, *, items=None, peer_ids=None,
+                 values=None) -> np.ndarray:
+        """Append ``n`` entries in one vectorized pass; returns their rows.
+
+        The scale-harness fast path: one capacity check, one slice write
+        per column, one generation bump for the whole batch — versus
+        ``n`` :meth:`add` calls each paying Python-level column stores
+        and a generation bump. ``items``/``peer_ids`` are passed as
+        columns (there are no per-entry payload objects to mirror them
+        from); ``values`` defaults to ``None`` payloads, which scoring
+        never touches.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 2 or keys.shape[1] != self._dim:
+            raise ValidationError(
+                f"keys shape {keys.shape} does not match store "
+                f"dimensionality {self._dim}"
+            )
+        n = keys.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        radii = np.broadcast_to(
+            np.asarray(radii, dtype=np.float64), (n,)
+        )
+        if np.any(radii < 0.0):
+            raise ValidationError("radii must all be >= 0")
+        items_col = (np.zeros(n, dtype=np.float64) if items is None
+                     else np.broadcast_to(
+                         np.asarray(items, dtype=np.float64), (n,)))
+        peer_col = (np.full(n, -1, dtype=np.int64) if peer_ids is None
+                    else np.broadcast_to(
+                        np.asarray(peer_ids, dtype=np.int64), (n,)))
+        if values is not None and len(values) != n:
+            raise ValidationError(
+                f"values length {len(values)} does not match {n} keys"
+            )
+        if self._size + n > self._capacity:
+            self._grow_to(self._size + n)
+        start = self._size
+        stop = start + n
+        rows = np.arange(start, stop, dtype=np.int64)
+        ids = np.arange(
+            self._next_entry_id, self._next_entry_id + n, dtype=np.int64
+        )
+        self._keys[start:stop] = keys
+        self._key_sq[start:stop] = np.einsum("ij,ij->i", keys, keys)
+        self._radii[start:stop] = radii
+        self._items[start:stop] = items_col
+        self._peer_ids[start:stop] = peer_col
+        self._entry_ids[start:stop] = ids
+        self._refcounts[start:stop] = 0
+        self._heat[start:stop] = 0
+        self._live[start:stop] = True
+        self._values.extend([None] * n if values is None else values)
+        self._row_by_id.update(zip(ids.tolist(), rows.tolist()))
+        self._size = stop
+        self._next_entry_id += n
+        self.generation += 1
+        return rows
+
+    def column_block(self, rows: np.ndarray) -> ColumnBlock:
+        """Gather a scoring :class:`ColumnBlock` for the given rows."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return ColumnBlock(
+            keys=self._keys[rows],
+            radii=self._radii[rows],
+            items=self._items[rows],
+            peer_ids=self._peer_ids[rows],
+            key_sq=self._key_sq[rows],
+        )
+
     def _incref(self, row: int) -> None:
         if not self._live[row]:
             raise ValidationError(f"row {row} is tombstoned")
         self._refcounts[row] += 1
+
+    def _incref_bulk(self, rows: np.ndarray) -> None:
+        """Refcount a batch of live rows in one vectorized pass."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        if not np.all(self._live[rows]):
+            raise ValidationError("cannot incref tombstoned rows")
+        np.add.at(self._refcounts, rows, 1)
 
     def _decref(self, row: int) -> None:
         count = self._refcounts[row] - 1
@@ -746,7 +1043,7 @@ class LevelStore:
     #: exactly: the BLAS expansion ``k·k − 2k·c + c·c`` loses ~sqrt(eps·d)
     #: absolute accuracy to cancellation (an exact-match point lookup gives
     #: ~1e-8 instead of 0), far coarser than the 1e-12 INTERSECTION_SLACK.
-    _BOUNDARY_BAND = 1e-5
+    _BOUNDARY_BAND = _BOUNDARY_BAND
 
     def intersecting_rows(
         self, rows: np.ndarray, center: np.ndarray, radius: float
@@ -791,24 +1088,16 @@ class LevelStore:
         :meth:`intersecting_rows`, so the two filters always agree.
         """
         size = self._size
-        center = np.asarray(center, dtype=np.float64)
         if size == 0:
             return np.empty(0, dtype=bool)
-        keys = self._keys[:size]
-        d2 = self._key_sq[:size] - 2.0 * (keys @ center)
-        d2 += float(center @ center)
-        np.maximum(d2, 0.0, out=d2)
-        dist = np.sqrt(d2)
-        boundary = self._radii[:size] + float(radius)
-        near = np.abs(dist - boundary) <= self._BOUNDARY_BAND
-        if near.any():
-            diff = keys[near] - center
-            dist[near] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        mask = spheres_intersect_batch(
-            self._radii[:size], float(radius), dist
+        return intersection_mask_columns(
+            self._keys[:size],
+            self._key_sq[:size],
+            self._radii[:size],
+            self._live[:size],
+            center,
+            radius,
         )
-        mask &= self._live[:size]
-        return mask
 
     def intersection_masks(
         self, centers: np.ndarray, radii: np.ndarray

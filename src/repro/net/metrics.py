@@ -33,6 +33,12 @@ class OperationMetrics:
         self.hops += 1
         self.bytes += size_bytes
 
+    def record_bulk(self, count: int, bytes_total: int) -> None:
+        """Record ``count`` one-hop frames in one pass (scale harness)."""
+        self.messages += count
+        self.hops += count
+        self.bytes += bytes_total
+
     def record_retransmits(self, count: int, size_bytes: int) -> None:
         """Record ``count`` link-layer retransmissions of one frame."""
         self.retransmits += count
@@ -63,6 +69,17 @@ class NetworkMetrics:
     def record_transmit(self, kind: MessageKind, size_bytes: int) -> None:
         """Record one hop of a message of the given kind."""
         self._bucket(kind).record_transmit(size_bytes)
+
+    def record_bulk_transmit(
+        self, kind: MessageKind, count: int, bytes_total: int
+    ) -> None:
+        """Record ``count`` one-hop frames of ``kind`` in one pass.
+
+        The bulk-construction fast path: totals land in exactly the same
+        buckets per-frame :meth:`record_transmit` calls would fill, with
+        O(1) Python work instead of O(frames).
+        """
+        self._bucket(kind).record_bulk(count, bytes_total)
 
     def record_retransmits(
         self, kind: MessageKind, count: int, size_bytes: int

@@ -46,10 +46,14 @@ class Network:
         energy_model: EnergyModel | None = None,
         hop_latency: float = 0.01,
         fault_plan=None,
+        scheduler=None,
     ):
         if hop_latency < 0:
             raise ValidationError(f"hop_latency must be >= 0, got {hop_latency}")
-        self.scheduler = Scheduler()
+        #: The fabric clock. An execution engine may inject its own
+        #: scheduler (``repro.engine``); the default is the serial one,
+        #: byte-identical to the pre-engine behaviour.
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.energy = EnergyLedger(model=energy_model or EnergyModel())
         self.metrics = NetworkMetrics()
         self.load = LoadLedger()
@@ -183,6 +187,45 @@ class Network:
                     self.hop_latency + extra_delay, lambda: deliver(message)
                 )
         return message
+
+    def transmit_bulk(
+        self, kind: MessageKind, senders, receivers, size_bytes: int
+    ) -> int:
+        """Account many equal-sized one-hop frames in one batched pass.
+
+        The scale-harness companion to :meth:`transmit`: metrics, energy,
+        and per-node load all receive exactly the totals the equivalent
+        per-frame ``transmit`` loop would have produced, at O(distinct
+        nodes) Python cost. Restricted to the clean fabric — bulk
+        construction models an orchestrated bootstrap, which the fault
+        injector (per-message verdicts) cannot meaningfully perturb — and
+        to accounting-only mode (no delivery callbacks). Returns the
+        number of frames charged.
+        """
+        if self.faults is not None and not self.faults.passthrough:
+            raise ValidationError(
+                "bulk transmission is clean-fabric only; use transmit() "
+                "under an active fault plan"
+            )
+        if size_bytes < 0:
+            raise ValidationError(f"size_bytes must be >= 0, got {size_bytes}")
+        n_frames = len(senders)
+        if len(receivers) != n_frames:
+            raise ValidationError("senders and receivers must align")
+        if n_frames == 0:
+            return 0
+        self.energy.charge_bulk(senders, receivers, size_bytes)
+        self.metrics.record_bulk_transmit(
+            kind, n_frames, size_bytes * n_frames
+        )
+        self.load.charge_bulk(senders, receivers, size_bytes)
+        recorder = obs_trace.state.recorder
+        if recorder.enabled:
+            recorder.add(
+                messages=n_frames, hops=n_frames,
+                bytes=size_bytes * n_frames,
+            )
+        return n_frames
 
     def finish_operation(self, kind: MessageKind, hops: int) -> None:
         """Record a completed logical operation (e.g. one full insertion)."""

@@ -54,6 +54,7 @@ from repro.obs.registry import (
     metrics_scope,
     set_metrics,
 )
+from repro.obs.rss import peak_rss_bytes, peak_rss_mb, rss_snapshot
 from repro.obs.trace import (
     NULL_RECORDER,
     NullRecorder,
@@ -88,11 +89,14 @@ __all__ = [
     "flight_recording",
     "metrics",
     "metrics_scope",
+    "peak_rss_bytes",
+    "peak_rss_mb",
     "phase_rows",
     "phase_table",
     "read_flight_jsonl",
     "read_jsonl",
     "recorder",
+    "rss_snapshot",
     "set_flight_recorder",
     "set_metrics",
     "set_recorder",

@@ -118,6 +118,31 @@ class LoadLedger:
         dst.retransmits += retransmits
         dst.duplicates += duplicates
 
+    def charge_bulk(self, senders, receivers, size_bytes: int) -> None:
+        """Account many equal-sized delivered frames at once.
+
+        The bulk-construction counterpart of :meth:`charge`: per-node
+        totals land in the same counters, collapsed to one update per
+        distinct endpoint (O(nodes), not O(frames)). Bulk traffic is
+        clean by construction — no retransmits, duplicates, or drops.
+        """
+        import numpy as np
+
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if senders.size == 0:
+            return
+        out_ids, out_counts = np.unique(senders, return_counts=True)
+        for node_id, count in zip(out_ids.tolist(), out_counts.tolist()):
+            slot = self._slot(node_id)
+            slot.msgs_out += count
+            slot.bytes_out += size_bytes * count
+        in_ids, in_counts = np.unique(receivers, return_counts=True)
+        for node_id, count in zip(in_ids.tolist(), in_counts.tolist()):
+            slot = self._slot(node_id)
+            slot.msgs_in += count
+            slot.bytes_in += size_bytes * count
+
     def note_query_hit(self, node_id: int, n: int = 1) -> None:
         """Mark ``node_id`` as visited by a range-query flood."""
         self._slot(node_id).query_hits += n

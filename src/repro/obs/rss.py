@@ -1,0 +1,48 @@
+"""Peak-RSS measurement: how much memory a run actually pinned.
+
+The scale benchmarks report peers/sec and queries/sec *and* peak
+resident set size — a 10⁵-peer run that fits in a laptop's RAM is a
+different claim from one that swaps. The reader is injectable (the same
+idiom as :class:`repro.obs.registry.MetricsRegistry` clocks) so tests
+assert the plumbing without depending on the platform's accounting.
+
+The default reader uses ``resource.getrusage(RUSAGE_SELF).ru_maxrss``,
+which is kilobytes on Linux and bytes on macOS; both are normalized to
+bytes here. ``ru_maxrss`` is a high-water mark — it never decreases
+within a process — so report it per run, not per phase.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def _default_reader() -> int:
+    """Peak RSS of this process in bytes (platform-normalized)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def peak_rss_bytes(reader=None) -> int:
+    """Current peak resident set size in bytes.
+
+    ``reader`` overrides the platform reader; it must return bytes.
+    """
+    return int((reader or _default_reader)())
+
+
+def peak_rss_mb(reader=None) -> float:
+    """Peak RSS in mebibytes — the human-facing number reports carry."""
+    return peak_rss_bytes(reader) / (1024.0 * 1024.0)
+
+
+def rss_snapshot(reader=None) -> dict:
+    """JSON-safe peak-RSS block for reports and bench documents."""
+    peak = peak_rss_bytes(reader)
+    return {
+        "peak_rss_bytes": peak,
+        "peak_rss_mb": round(peak / (1024.0 * 1024.0), 2),
+    }

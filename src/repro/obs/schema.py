@@ -216,6 +216,16 @@ def check_report(report: dict, where: str = "report") -> list[str]:
                     )
     if "energy" in report and not isinstance(report["energy"], dict):
         problems.append(f"{where}.energy: not an object")
+    resources = report.get("resources")
+    if resources is not None:
+        if not isinstance(resources, dict):
+            problems.append(f"{where}.resources: not an object")
+        elif not isinstance(
+            resources.get("peak_rss_bytes"), (int, float)
+        ):
+            problems.append(
+                f"{where}.resources: missing numeric 'peak_rss_bytes'"
+            )
     return problems
 
 

@@ -6,8 +6,24 @@ the zone owning a random point; routing greedily forwards to the neighbour
 whose zone is closest (torus metric) to the target.
 """
 
+from repro.overlay.can.bulk import (
+    BulkPublishReport,
+    GridPlan,
+    build_grid_can,
+    bulk_publish,
+    grid_shape,
+)
 from repro.overlay.can.network import CANNetwork
 from repro.overlay.can.node import CANNode
 from repro.overlay.can.zone import Zone
 
-__all__ = ["CANNetwork", "CANNode", "Zone"]
+__all__ = [
+    "BulkPublishReport",
+    "CANNetwork",
+    "CANNode",
+    "GridPlan",
+    "Zone",
+    "build_grid_can",
+    "bulk_publish",
+    "grid_shape",
+]

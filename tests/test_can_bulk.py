@@ -1,0 +1,189 @@
+"""Bulk CAN construction: the analytic grid equals the protocol's limit.
+
+:mod:`repro.overlay.can.bulk` materialises the power-of-two grid that a
+uniform midpoint split sequence converges to, instead of routing every
+join. These tests pin the equivalences that make the shortcut safe:
+
+* grid adjacency reproduces exactly what the O(n²) geometric scan
+  (:meth:`CANNetwork._rebuild_all_neighbors`) would compute;
+* :meth:`GridPlan.owner_nodes` agrees with greedy-routing ownership
+  (:meth:`CANNetwork.owner_of`) for every key, boundaries included;
+* :func:`bulk_publish` leaves the store, memberships, and the fabric's
+  metrics/energy/load ledgers exactly where the per-frame path would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.faults import FaultPlan, plan_scope
+from repro.net.messages import MessageKind, vector_message_size
+from repro.net.network import Network
+from repro.overlay.can import (
+    GridPlan,
+    build_grid_can,
+    bulk_publish,
+    grid_shape,
+)
+
+
+class TestGridShape:
+    def test_round_robin_split_order(self):
+        assert grid_shape(2, 16) == (4, 4)
+        assert grid_shape(2, 8) == (4, 2)
+        assert grid_shape(3, 32) == (4, 4, 2)
+        assert grid_shape(1, 8) == (8,)
+
+    def test_rounds_up_to_a_power_of_two(self):
+        assert grid_shape(2, 9) == (4, 4)
+        assert grid_shape(2, 5) == (4, 2)
+
+    def test_single_node_grid(self):
+        assert grid_shape(3, 1) == (1, 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            grid_shape(0, 4)
+        with pytest.raises(ValidationError):
+            grid_shape(2, 0)
+
+
+class TestBuildGridCan:
+    @pytest.mark.parametrize(
+        "dim,n", [(1, 8), (2, 16), (2, 8), (3, 32), (4, 16), (2, 1), (1, 2)]
+    )
+    def test_adjacency_matches_geometric_scan(self, dim, n):
+        can, __ = build_grid_can(dim, n)
+        built = {
+            node_id: set(can.node(node_id).neighbors)
+            for node_id in can.node_ids
+        }
+        can._rebuild_all_neighbors()
+        geometric = {
+            node_id: set(can.node(node_id).neighbors)
+            for node_id in can.node_ids
+        }
+        assert built == geometric
+
+    def test_zones_tile_the_cube(self):
+        can, plan = build_grid_can(3, 32)
+        assert len(can) == plan.n_cells
+        assert can.total_zone_volume() == pytest.approx(1.0, abs=1e-12)
+
+    def test_owner_nodes_matches_greedy_ownership(self):
+        can, plan = build_grid_can(2, 16, rng=0)
+        rng = np.random.default_rng(4)
+        keys = rng.random((200, 2))
+        analytic = plan.owner_nodes(keys)
+        routed = np.array([can.owner_of(key) for key in keys])
+        np.testing.assert_array_equal(analytic, routed)
+
+    def test_outer_face_clamps_into_the_last_cell(self):
+        can, plan = build_grid_can(2, 16)
+        corner = np.ones((1, 2))
+        owner = int(plan.owner_nodes(corner)[0])
+        assert owner == can.owner_of(corner[0])
+
+    def test_node_id_offset_respected(self):
+        can, plan = build_grid_can(2, 4, node_id_offset=5000)
+        assert min(can.node_ids) == 5000
+        assert plan.node_id_offset == 5000
+        assert can._next_id == 5000 + plan.n_cells
+
+    def test_owner_nodes_rejects_wrong_shape(self):
+        plan = GridPlan(counts=(4, 4), node_id_offset=0)
+        with pytest.raises(ValidationError, match="shape"):
+            plan.owner_nodes(np.zeros((3, 3)))
+
+
+class TestBulkPublish:
+    def _publish(self, n=60, dim=2, seed=7, **kwargs):
+        rng = np.random.default_rng(seed)
+        can, plan = build_grid_can(dim, 16)
+        keys = rng.random((n, dim))
+        radii = 0.05 * rng.random(n)
+        peer_ids = np.arange(n, dtype=np.int64) % 5
+        report = bulk_publish(
+            can, plan, keys, radii, peer_ids=peer_ids, **kwargs
+        )
+        return can, plan, keys, radii, report
+
+    def test_report_counts(self):
+        can, plan, keys, __, report = self._publish()
+        assert report.spheres == keys.shape[0]
+        assert report.messages == keys.shape[0]
+        owners = plan.owner_nodes(keys)
+        assert report.nodes_touched == np.unique(owners).size
+        size = vector_message_size(can.dimensionality, scalars=2)
+        assert report.bytes_sent == size * keys.shape[0]
+
+    def test_rows_land_at_their_owners(self):
+        can, plan, keys, __, __ = self._publish()
+        owners = plan.owner_nodes(keys)
+        store = can.level_store
+        assert store.n_rows == keys.shape[0]
+        for node_id in np.unique(owners):
+            expected = int((owners == node_id).sum())
+            assert len(can.node(int(node_id)).membership) == expected
+
+    def test_mask_sees_every_published_sphere(self):
+        can, plan, keys, radii, __ = self._publish()
+        mask = can.level_store.intersection_mask(keys[0], 1.5)
+        # Radius 1.5 > any torus distance + sphere radius: all live rows.
+        assert int(mask.sum()) == keys.shape[0]
+
+    def test_fabric_accounting_matches_per_frame_totals(self):
+        can, plan, keys, __, report = self._publish()
+        size = vector_message_size(can.dimensionality, scalars=2)
+        insert = can.fabric.metrics.kind(MessageKind.INSERT)
+        assert insert.messages == keys.shape[0]
+        assert insert.bytes == size * keys.shape[0]
+        # Energy: every frame charges one tx + one rx of `size` bytes.
+        model = can.fabric.energy.model
+        expected = keys.shape[0] * model.hop_cost(size)
+        assert can.fabric.energy.total == pytest.approx(expected)
+
+    def test_charge_false_skips_the_fabric(self):
+        can, __, keys, __, report = self._publish(charge=False)
+        assert report.messages == 0
+        assert report.bytes_sent == 0
+        assert can.fabric.metrics.total_messages == 0
+        assert can.level_store.n_rows == keys.shape[0]
+
+    def test_origins_attribute_senders(self):
+        rng = np.random.default_rng(3)
+        can, plan = build_grid_can(2, 4)
+        keys = rng.random((10, 2))
+        origins = np.full(10, can.node_ids[0], dtype=np.int64)
+        bulk_publish(can, plan, keys, 0.05 * rng.random(10), origins=origins)
+        load = can.fabric.load.per_node[can.node_ids[0]]
+        assert load.msgs_out == 10
+
+    def test_bulk_transmit_rejects_an_active_fault_plan(self):
+        rng = np.random.default_rng(3)
+        with plan_scope(FaultPlan(loss=0.2, seed=1)):
+            can, plan = build_grid_can(2, 4)
+            keys = rng.random((5, 2))
+            with pytest.raises(ValidationError, match="clean-fabric"):
+                bulk_publish(can, plan, keys, 0.05 * rng.random(5))
+
+    def test_bulk_transmit_allows_a_null_fault_plan(self):
+        rng = np.random.default_rng(3)
+        with plan_scope(FaultPlan(loss=0.0, seed=1)):
+            can, plan = build_grid_can(2, 4)
+            keys = rng.random((5, 2))
+            report = bulk_publish(can, plan, keys, 0.05 * rng.random(5))
+        assert report.messages == 5
+
+    def test_transmit_bulk_validates_alignment(self):
+        fabric = Network()
+        with pytest.raises(ValidationError, match="align"):
+            fabric.transmit_bulk(
+                MessageKind.INSERT, np.array([1, 2]), np.array([1]), 8
+            )
+        assert fabric.transmit_bulk(
+            MessageKind.INSERT, np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64), 8,
+        ) == 0

@@ -4,13 +4,13 @@ import doctest
 
 import pytest
 
-import repro.net.events
+import repro.engine.serial
 import repro.overlay.can.network
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.net.events, repro.overlay.can.network],
+    [repro.engine.serial, repro.overlay.can.network],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

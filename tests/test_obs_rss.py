@@ -1,0 +1,72 @@
+"""Peak-RSS plumbing: injectable reader, report surface, schema check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import peak_rss_bytes, peak_rss_mb, rss_snapshot
+from repro.obs.schema import check_report
+
+
+class TestReaders:
+    def test_injected_reader_is_authoritative(self):
+        assert peak_rss_bytes(lambda: 3 * 1024 * 1024) == 3 * 1024 * 1024
+        assert peak_rss_mb(lambda: 3 * 1024 * 1024) == 3.0
+
+    def test_default_reader_reports_something_plausible(self):
+        peak = peak_rss_bytes()
+        # A running CPython interpreter pins at least a few MiB and —
+        # on any test machine — well under a TiB.
+        assert 1024 * 1024 < peak < 2**40
+
+    def test_snapshot_shape(self):
+        snap = rss_snapshot(lambda: 1536 * 1024)
+        assert snap == {
+            "peak_rss_bytes": 1536 * 1024, "peak_rss_mb": 1.5
+        }
+
+    def test_peak_is_monotone_under_the_default_reader(self):
+        first = peak_rss_bytes()
+        second = peak_rss_bytes()
+        assert second >= first
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.evaluation.report import run_report
+
+    return run_report(
+        n_peers=5, items_per_peer=20, dimensionality=16,
+        n_queries=2, seed=0,
+    )
+
+
+class TestReportSurface:
+    def test_report_carries_resources(self, report):
+        from repro.evaluation.report import render_markdown
+
+        assert report["resources"]["peak_rss_bytes"] > 0
+        assert "peak RSS (MiB)" in render_markdown(report)
+
+    def test_schema_accepts_valid_resources(self, report):
+        assert not [
+            p for p in check_report(report) if "resources" in p
+        ]
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [
+            ([1, 2], "not an object"),
+            ({}, "peak_rss_bytes"),
+            ({"peak_rss_bytes": "big"}, "peak_rss_bytes"),
+        ],
+    )
+    def test_schema_rejects_malformed_resources(
+        self, report, resources, expected
+    ):
+        mutated = dict(report)
+        mutated["resources"] = resources
+        problems = check_report(mutated)
+        assert any(
+            "resources" in p and expected in p for p in problems
+        )

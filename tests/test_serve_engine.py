@@ -306,3 +306,20 @@ class TestSnapshot:
         assert snap["served"] == 3
         assert snap["candidate_cache"]["capacity"] == 256
         assert snap["translation_cache"]["size"] >= 1
+
+
+class TestInjectableClock:
+    def test_timed_uses_the_ambient_metrics_clock(self):
+        from repro.evaluation.serving import _timed
+        from repro.obs.registry import MetricsRegistry, metrics_scope
+
+        ticks = iter([10.0, 10.25])
+        with metrics_scope(MetricsRegistry(clock=lambda: next(ticks))):
+            elapsed = _timed(lambda: None)
+        assert elapsed == 0.25
+
+    def test_explicit_clock_overrides_the_registry(self):
+        from repro.evaluation.serving import _timed
+
+        ticks = iter([0.0, 2.0])
+        assert _timed(lambda: None, clock=lambda: next(ticks)) == 2.0
